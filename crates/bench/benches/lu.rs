@@ -1,0 +1,56 @@
+//! Criterion benches over the LU path: unblocked panel, blocked
+//! factorization, and the DAG-parallel numeric backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phi_blas::gemm::BlockSizes;
+use phi_blas::lu::{getf2, getrf};
+use phi_hpl::native::factorize_parallel;
+use phi_matrix::MatGen;
+use phi_sched::GroupPlan;
+
+fn bench_panel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panel_getf2");
+    for (m, nb) in [(256usize, 16usize), (512, 32)] {
+        let a = MatGen::new(1).matrix::<f64>(m, nb);
+        g.throughput(Throughput::Elements((m * nb * nb) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{nb}")), &m, |bench, _| {
+            bench.iter_batched(
+                || a.clone(),
+                |mut panel| {
+                    let mut piv = Vec::new();
+                    getf2(&mut panel.view_mut(), &mut piv, 0).unwrap();
+                    piv
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_getrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("getrf");
+    for n in [128usize, 256] {
+        let a = MatGen::new(2).matrix::<f64>(n, n);
+        g.throughput(Throughput::Elements((2 * n * n * n / 3) as u64));
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
+            bench.iter_batched(
+                || a.clone(),
+                |mut m| getrf(&mut m.view_mut(), 32, &BlockSizes::default()).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("dag_parallel_4t", n), &n, |bench, _| {
+            let plan = GroupPlan::new(4, 2);
+            bench.iter_batched(
+                || a.clone(),
+                |mut m| factorize_parallel(&mut m, 32, &plan).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_panel, bench_getrf);
+criterion_main!(benches);

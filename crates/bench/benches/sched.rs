@@ -1,0 +1,67 @@
+//! Criterion benches of the scheduling structures, including the
+//! master-only vs all-threads critical-section ablation the paper's
+//! group design is motivated by (Section IV-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_sched::{run_group_scheduled, DagScheduler, GroupPlan, TileDeque};
+
+fn bench_dag_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_drain_single_thread");
+    for npanels in [32usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(npanels), &npanels, |bench, &n| {
+            bench.iter(|| {
+                let dag = DagScheduler::new(n);
+                let mut count = 0usize;
+                while let Some(t) = dag.available_task() {
+                    dag.commit(t);
+                    count += 1;
+                }
+                count
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The contention ablation: the same DAG drained by 8 threads organized
+/// either as 8 independent lock-takers (groups of 1) or as 2 groups of 4
+/// where only the master touches the scheduler lock.
+fn bench_group_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critical_section_ablation");
+    g.sample_size(10);
+    let npanels = 48;
+    for (label, tpg) in [("all_threads_contend", 1usize), ("master_only", 4usize)] {
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let dag = DagScheduler::new(npanels);
+                let plan = GroupPlan::new(8, tpg);
+                run_group_scheduled(&dag, &plan, |_, _, _| {
+                    // A tiny simulated kernel so lock traffic dominates.
+                    std::hint::black_box((0..64).sum::<u64>());
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tile_deque(c: &mut Criterion) {
+    c.bench_function("tile_deque_drain_10k", |bench| {
+        bench.iter(|| {
+            let d = TileDeque::new(10_000);
+            let mut n = 0usize;
+            loop {
+                let a = d.steal_front();
+                let b = d.steal_back();
+                if a.is_none() && b.is_none() {
+                    break;
+                }
+                n += usize::from(a.is_some()) + usize::from(b.is_some());
+            }
+            n
+        });
+    });
+}
+
+criterion_group!(benches, bench_dag_drain, bench_group_contention, bench_tile_deque);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (offload DGEMM performance).
+fn main() {
+    println!("Fig. 11 — offload DGEMM (Kt = 1200)\n{}", phi_bench::fig11_render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates the Fig. 2 kernel comparison on the cycle-level emulator,
+//! including the instruction listings of Fig. 2b/2c.
+use phi_blas::gemm::MicroKernelKind;
+use phi_knc::disasm::disassemble;
+use phi_knc::kernels::build_basic_kernel;
+
+fn main() {
+    println!("Fig. 2 — Basic Kernel 1 vs Basic Kernel 2 (emulated)\n{}", phi_bench::fig2_render());
+    for (kind, label) in [
+        (MicroKernelKind::Kernel1, "Basic Kernel 1 (Fig. 2b)"),
+        (MicroKernelKind::Kernel2, "Basic Kernel 2 (Fig. 2c)"),
+    ] {
+        let (body, _) = build_basic_kernel(kind);
+        println!("{label} inner loop (U = vector pipe, V = co-issued):");
+        println!("{}", disassemble(&body));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7 (Gantt charts of the 5K LU execution profile).
+fn main() {
+    let (st, dy) = phi_bench::fig7_gantt(100);
+    println!("Fig. 7 — LU execution profiles (N = 5120)\n\n{st}\n{dy}");
+}

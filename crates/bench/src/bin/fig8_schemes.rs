@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8: one-iteration timing diagrams of the three
+//! look-ahead schemes.
+use phi_fabric::ProcessGrid;
+use phi_hpl::hybrid::stage_gantt::fig8_render;
+use phi_hpl::hybrid::HybridConfig;
+
+fn main() {
+    let cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+    println!(
+        "Fig. 8 — hybrid HPL look-ahead schemes (single node, 1 card, N = 84K, stage 5)\n"
+    );
+    println!("{}", fig8_render(&cfg, 5, 110));
+}

@@ -1,0 +1,31 @@
+//! The paper's future work (Section VII): Linpack directly on a cluster
+//! of Knights Corners with the hosts asleep, plus the energy comparison
+//! the conclusion argues for.
+use phi_hpl::energy::{compare_designs, PowerModel};
+use phi_hpl::native::NativeClusterConfig;
+use phi_hpl::native::cluster::simulate_native_cluster;
+
+fn main() {
+    println!("Fully-native multi-node Linpack (future work, Section VII)\n");
+    println!("{:>8} {:>6} {:>10} {:>8}", "N", "cards", "GFLOPS", "eff");
+    for (n, side) in [(30_000usize, 1usize), (60_000, 2), (120_000, 4), (300_000, 10)] {
+        let cfg = NativeClusterConfig::new(n, side, side);
+        let r = simulate_native_cluster(&cfg);
+        println!("{:>8} {:>6} {:>10.0} {:>7.1}%", n, side * side, r.gflops, 100.0 * r.efficiency());
+    }
+    println!("\nEnergy efficiency on 4 nodes (2x2):");
+    let power = PowerModel::default();
+    let (cpu, hybrid, native) = compare_designs(4, &power);
+    for (label, p, watts_label) in [
+        ("CPU-only ", &cpu, power.cpu_node_w()),
+        ("hybrid   ", &hybrid, power.hybrid_node_w(1)),
+        ("native   ", &native, power.native_node_w()),
+    ] {
+        println!(
+            "  {label}: {:>8.0} GFLOPS at {:>4.0} W/node -> {:.2} GFLOPS/W",
+            p.gflops, watts_label, p.gflops_per_watt()
+        );
+    }
+    println!("\nThe native design wins GFLOPS/W (the conclusion's argument) but is");
+    println!("capped by 8 GB GDDR per card; the hybrid design trades watts for N.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure in one run.
+fn main() {
+    println!("== Table I ==\n{}", phi_bench::table1_render());
+    println!("== Table II ==\n{}", phi_bench::table2_render());
+    println!("== Fig. 2 ==\n{}", phi_bench::fig2_render());
+    println!("== Fig. 4 ==\n{}", phi_bench::fig4_render());
+    println!("== Fig. 6 ==\n{}", phi_bench::fig6_render());
+    let (st, dy) = phi_bench::fig7_gantt(100);
+    println!("== Fig. 7 ==\n{st}\n{dy}");
+    {
+        use phi_fabric::ProcessGrid;
+        use phi_hpl::hybrid::{stage_gantt::fig8_render, HybridConfig};
+        let cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+        println!("== Fig. 8 ==\n{}", fig8_render(&cfg, 5, 100));
+    }
+    println!("== Fig. 9 ==\n{}", phi_bench::fig9_render());
+    println!("== Fig. 11 ==\n{}", phi_bench::fig11_render());
+    println!("== Table III ==\n{}", phi_bench::table3_render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (system configurations).
+fn main() {
+    println!("Table I — system configurations\n{}", phi_bench::table1_render());
+}

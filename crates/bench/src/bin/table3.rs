@@ -1,0 +1,4 @@
+//! Regenerates Table III (node- and cluster-level HPL results).
+fn main() {
+    println!("Table III — HPL performance\n{}", phi_bench::table3_render());
+}

@@ -1,0 +1,18 @@
+//! Experiment regenerators: every table and figure of the paper's
+//! evaluation, as structured data plus plain-text renderers.
+//!
+//! Each `table*`/`fig*` module produces rows/series through the machine
+//! models and simulations of the workspace, paired with the number the
+//! paper reports so drift is visible at a glance. The `src/bin/`
+//! executables are thin wrappers; `cargo run -p phi-bench --bin repro`
+//! regenerates everything.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;
+pub use format::TextTable;
+pub use phi_hpl::native::NativeScheme;

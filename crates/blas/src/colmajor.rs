@@ -1,0 +1,170 @@
+//! Column-major adapters (paper footnote 3).
+//!
+//! "Column-major (CM) DGEMM is easily derived from row-major (RM) DGEMM
+//! by transposing both sides of the equality `C(CM) = A(CM) · B(CM)`, to
+//! get `C(RM) = B(RM) · A(RM)`" — i.e. a column-major matrix reinterpreted
+//! as row-major *is* its transpose, so a column-major GEMM is the
+//! row-major GEMM with the operands swapped. These adapters let
+//! column-major callers (LAPACK-convention code) use the packed kernels
+//! without copying.
+
+use crate::gemm::{gemm_with, BlockSizes};
+use phi_matrix::{Matrix, MatrixView, MatrixViewMut, Scalar};
+
+/// A column-major matrix description over a flat slice: element `(i, j)`
+/// lives at `j * ld + i`.
+#[derive(Clone, Copy, Debug)]
+pub struct ColMajor<'a, T: Scalar> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a, T: Scalar> ColMajor<'a, T> {
+    /// Wraps a column-major buffer.
+    ///
+    /// # Panics
+    /// Panics when the slice is too short or `ld < rows`.
+    pub fn new(data: &'a [T], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows || cols <= 1, "ld {ld} < rows {rows}");
+        if rows > 0 && cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows);
+        }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    /// Element `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// The same storage viewed as the row-major **transpose** — footnote
+    /// 3's identity, zero-copy.
+    pub fn as_transposed_rowmajor(&self) -> MatrixView<'a, T> {
+        MatrixView::new(self.data, self.cols, self.rows, self.ld)
+    }
+
+    /// Materializes a row-major copy (for callers that need one).
+    pub fn to_rowmajor(&self) -> Matrix<T> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
+    }
+}
+
+/// Column-major GEMM `C := alpha·A·B + beta·C` implemented entirely with
+/// the row-major packed kernels: `Cᵀ := alpha·Bᵀ·Aᵀ + beta·Cᵀ`.
+///
+/// `c` is the column-major output buffer with leading dimension `ldc`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_colmajor<T: Scalar>(
+    alpha: T,
+    a: &ColMajor<'_, T>,
+    b: &ColMajor<'_, T>,
+    beta: T,
+    c: &mut [T],
+    c_rows: usize,
+    c_cols: usize,
+    ldc: usize,
+    bs: &BlockSizes,
+) {
+    assert_eq!(a.rows, c_rows, "C rows");
+    assert_eq!(b.cols, c_cols, "C cols");
+    assert_eq!(a.cols, b.rows, "inner dimension");
+    // C (CM, c_rows × c_cols) reinterpreted row-major is Cᵀ
+    // (c_cols × c_rows) with the same leading dimension.
+    let mut c_t = MatrixViewMut::new(c, c_cols, c_rows, ldc);
+    let a_t = a.as_transposed_rowmajor();
+    let b_t = b.as_transposed_rowmajor();
+    gemm_with(alpha, &b_t, &a_t, beta, &mut c_t, bs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use phi_matrix::MatGen;
+
+    /// Builds a column-major buffer for an `r × c` random matrix.
+    fn cm_buffer(seed: u64, rows: usize, cols: usize, ld: usize) -> Vec<f64> {
+        let m = MatGen::new(seed).matrix::<f64>(rows, cols);
+        let mut buf = vec![0.0; ld * cols];
+        for j in 0..cols {
+            for i in 0..rows {
+                buf[j * ld + i] = m[(i, j)];
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn transposed_view_is_zero_copy_transpose() {
+        let buf = cm_buffer(1, 4, 3, 5);
+        let cm = ColMajor::new(&buf, 4, 3, 5);
+        let t = cm.as_transposed_rowmajor();
+        assert_eq!((t.rows(), t.cols()), (3, 4));
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(cm.at(i, j), t.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn colmajor_gemm_matches_rowmajor_oracle() {
+        let (m, n, k) = (17, 13, 9);
+        let (lda, ldb, ldc) = (m + 3, k + 1, m + 2);
+        let abuf = cm_buffer(2, m, k, lda);
+        let bbuf = cm_buffer(3, k, n, ldb);
+        let mut cbuf = cm_buffer(4, m, n, ldc);
+
+        let a = ColMajor::new(&abuf, m, k, lda);
+        let b = ColMajor::new(&bbuf, k, n, ldb);
+
+        // Row-major oracle on materialized copies.
+        let ar = a.to_rowmajor();
+        let br = b.to_rowmajor();
+        let mut cr = ColMajor::new(&cbuf, m, n, ldc).to_rowmajor();
+        gemm_naive(1.5, &ar.view(), &br.view(), -0.5, &mut cr.view_mut());
+
+        gemm_colmajor(
+            1.5,
+            &a,
+            &b,
+            -0.5,
+            &mut cbuf,
+            m,
+            n,
+            ldc,
+            &BlockSizes::default(),
+        );
+        let got = ColMajor::new(&cbuf, m, n, ldc).to_rowmajor();
+        assert!(
+            got.approx_eq(&cr, 1e-11),
+            "diff {}",
+            got.max_abs_diff(&cr)
+        );
+    }
+
+    #[test]
+    fn knc_shape_works_for_colmajor_too() {
+        let (m, n, k) = (35, 31, 12);
+        let abuf = cm_buffer(5, m, k, m);
+        let bbuf = cm_buffer(6, k, n, k);
+        let mut cbuf = vec![0.0; m * n];
+        let a = ColMajor::new(&abuf, m, k, m);
+        let b = ColMajor::new(&bbuf, k, n, k);
+        let ar = a.to_rowmajor();
+        let br = b.to_rowmajor();
+        let mut cr = Matrix::<f64>::zeros(m, n);
+        gemm_naive(1.0, &ar.view(), &br.view(), 0.0, &mut cr.view_mut());
+        gemm_colmajor(1.0, &a, &b, 0.0, &mut cbuf, m, n, m, &BlockSizes::knc());
+        let got = ColMajor::new(&cbuf, m, n, m).to_rowmajor();
+        assert!(got.approx_eq(&cr, 1e-11));
+    }
+}

@@ -1,0 +1,150 @@
+//! Energy-efficiency analysis of the hybrid vs native designs.
+//!
+//! The paper's conclusion makes a quantitative argument it never tables:
+//! "the fact that Sandy Bridge EP is several times slower than Knights
+//! Corner, but consumes comparable power, makes \[the\] hybrid
+//! implementation less energy efficient compared to the fully-native
+//! multi-node implementation that only uses Knights Corners" (with CPU
+//! cores "put into a deep sleep state"). This module carries that
+//! argument to numbers: node power models for the three system shapes
+//! and GFLOPS/W for the corresponding Linpack results.
+
+use crate::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use crate::native::cluster::{simulate_native_cluster, NativeClusterConfig};
+use phi_fabric::ProcessGrid;
+
+/// Node power model (watts), era-appropriate values.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Dual-socket Sandy Bridge EP node under load (2 × 115 W TDP plus
+    /// DRAM, board, fans).
+    pub host_active_w: f64,
+    /// The same node with CPU packages in a deep sleep state.
+    pub host_sleep_w: f64,
+    /// One Knights Corner card under load (300 W TDP class, sustained).
+    pub card_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self {
+            host_active_w: 350.0,
+            host_sleep_w: 80.0,
+            card_w: 245.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Power of a hybrid node with `cards` coprocessors (host active).
+    pub fn hybrid_node_w(&self, cards: usize) -> f64 {
+        self.host_active_w + cards as f64 * self.card_w
+    }
+
+    /// Power of a native node: card at full tilt, host asleep.
+    pub fn native_node_w(&self) -> f64 {
+        self.host_sleep_w + self.card_w
+    }
+
+    /// Power of a CPU-only node.
+    pub fn cpu_node_w(&self) -> f64 {
+        self.host_active_w
+    }
+}
+
+/// GFLOPS/W of one system shape on its Linpack sweet spot.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyPoint {
+    /// Achieved GFLOPS (whole machine).
+    pub gflops: f64,
+    /// Total power, watts.
+    pub watts: f64,
+}
+
+impl EnergyPoint {
+    /// The metric.
+    pub fn gflops_per_watt(&self) -> f64 {
+        self.gflops / self.watts
+    }
+}
+
+/// Evaluates the three designs on comparable per-device loads.
+///
+/// `nodes` must be a perfect square (a √nodes × √nodes grid is used).
+pub fn compare_designs(nodes: usize, power: &PowerModel) -> (EnergyPoint, EnergyPoint, EnergyPoint) {
+    let side = (nodes as f64).sqrt() as usize;
+    assert_eq!(side * side, nodes, "nodes must be a perfect square");
+    let grid = ProcessGrid::new(side, side);
+
+    // CPU-only: big-memory problem.
+    let cpu = {
+        let mut cfg = HybridConfig::new(84_000 * side, grid, 0);
+        cfg.lookahead = Lookahead::Basic;
+        let r = simulate_cluster(&cfg, false);
+        EnergyPoint {
+            gflops: r.report.gflops,
+            watts: nodes as f64 * power.cpu_node_w(),
+        }
+    };
+
+    // Hybrid: one card per node, pipelined look-ahead, big-memory problem.
+    let hybrid = {
+        let cfg = HybridConfig::new(84_000 * side, grid, 1);
+        let r = simulate_cluster(&cfg, false);
+        EnergyPoint {
+            gflops: r.report.gflops,
+            watts: nodes as f64 * power.hybrid_node_w(1),
+        }
+    };
+
+    // Native: GDDR-sized problem (30K per card), host asleep.
+    let native = {
+        let cfg = NativeClusterConfig::new(30_000 * side, side, side);
+        let r = simulate_native_cluster(&cfg);
+        EnergyPoint {
+            gflops: r.gflops,
+            watts: nodes as f64 * power.native_node_w(),
+        }
+    };
+
+    (cpu, hybrid, native)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_model_shapes() {
+        let p = PowerModel::default();
+        assert!(p.hybrid_node_w(1) > p.native_node_w());
+        assert!(p.hybrid_node_w(2) > p.hybrid_node_w(1));
+        assert!(p.native_node_w() < p.cpu_node_w());
+    }
+
+    #[test]
+    fn native_is_most_energy_efficient() {
+        // The conclusion's claim, on a 2×2 cluster.
+        let (cpu, hybrid, native) = compare_designs(4, &PowerModel::default());
+        assert!(
+            hybrid.gflops_per_watt() > cpu.gflops_per_watt(),
+            "adding a card must improve GF/W: {:.3} vs {:.3}",
+            hybrid.gflops_per_watt(),
+            cpu.gflops_per_watt()
+        );
+        assert!(
+            native.gflops_per_watt() > hybrid.gflops_per_watt(),
+            "native (host asleep) must beat hybrid: {:.3} vs {:.3}",
+            native.gflops_per_watt(),
+            hybrid.gflops_per_watt()
+        );
+    }
+
+    #[test]
+    fn hybrid_still_wins_raw_performance() {
+        // The trade the paper describes: hybrid gives up GF/W to gain
+        // problem size and absolute GFLOPS per node pair.
+        let (_, hybrid, native) = compare_designs(1, &PowerModel::default());
+        assert!(hybrid.gflops > native.gflops);
+    }
+}

@@ -1,0 +1,307 @@
+//! `HPL.dat` — the standard input file of High Performance Linpack.
+//!
+//! The paper's hybrid implementation "is based on the standard
+//! open-source implementation, High Performance Linpack (HPL)", which is
+//! configured through the venerable fixed-layout `HPL.dat` file: a value
+//! (or list of values) at the start of each line, description text after
+//! it. This module parses the subset of that format our flavours consume
+//! — problem sizes, block sizes, process grids, look-ahead depth — and
+//! expands it into the cross-product of runs HPL would execute.
+
+use crate::hybrid::{HybridConfig, Lookahead};
+use phi_fabric::ProcessGrid;
+
+/// The parsed, expanded benchmark plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HplDat {
+    /// Problem sizes (`N`s line).
+    pub ns: Vec<usize>,
+    /// Block sizes (`NB`s line).
+    pub nbs: Vec<usize>,
+    /// Process grids (`P`s × `Q`s, zipped as HPL does).
+    pub grids: Vec<(usize, usize)>,
+    /// Look-ahead depth (0 = none, 1 = basic; we map ≥2 to pipelined).
+    pub depth: usize,
+}
+
+/// A parse failure with its line number (1-based).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HPL.dat line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_count_then_list(
+    lines: &[(usize, &str)],
+    idx: usize,
+    what: &str,
+) -> Result<(Vec<usize>, usize), ParseError> {
+    let (ln, count_line) = lines
+        .get(idx)
+        .ok_or(ParseError {
+            line: 0,
+            message: format!("missing '# of {what}' line"),
+        })?;
+    let count: usize = first_token(count_line).parse().map_err(|_| ParseError {
+        line: *ln,
+        message: format!("expected a count of {what}, got '{count_line}'"),
+    })?;
+    let (ln2, list_line) = lines.get(idx + 1).ok_or(ParseError {
+        line: 0,
+        message: format!("missing {what} list line"),
+    })?;
+    let values: Vec<usize> = list_line
+        .split_whitespace()
+        .take(count)
+        .map(|t| {
+            t.parse().map_err(|_| ParseError {
+                line: *ln2,
+                message: format!("bad {what} value '{t}'"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if values.len() < count {
+        return Err(ParseError {
+            line: *ln2,
+            message: format!("{what} list has {} values, expected {count}", values.len()),
+        });
+    }
+    if values.is_empty() {
+        return Err(ParseError {
+            line: *ln,
+            message: format!("at least one {what} value required"),
+        });
+    }
+    Ok((values, idx + 2))
+}
+
+fn first_token(line: &str) -> &str {
+    line.split_whitespace().next().unwrap_or("")
+}
+
+impl HplDat {
+    /// Parses the standard layout:
+    ///
+    /// ```text
+    /// <title line>
+    /// <output line>                 (ignored)
+    /// <device line>                 (ignored)
+    /// 2        # of problems sizes (N)
+    /// 84000 168000   Ns
+    /// 1        # of NBs
+    /// 1200     NBs
+    /// 0        PMAP ...             (ignored)
+    /// 2        # of process grids (P x Q)
+    /// 1 2      Ps
+    /// 1 2      Qs
+    /// 16.0     threshold            (ignored)
+    /// ...      (remaining algorithmic lines optional)
+    /// 1        DEPTHs (0=none, 1=basic, >=2 pipelined)   [optional]
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        if lines.len() < 9 {
+            return Err(ParseError {
+                line: lines.len(),
+                message: "file too short for the HPL.dat layout".into(),
+            });
+        }
+        // Lines 0..3 are title/output/device headers.
+        let (ns, idx) = parse_count_then_list(&lines, 3, "problem sizes")?;
+        let (nbs, idx) = parse_count_then_list(&lines, idx, "NBs")?;
+        // PMAP line (ignored).
+        let idx = idx + 1;
+        let (ln, count_line) = lines.get(idx).ok_or(ParseError {
+            line: 0,
+            message: "missing process-grid count".into(),
+        })?;
+        let ngrids: usize = first_token(count_line).parse().map_err(|_| ParseError {
+            line: *ln,
+            message: format!("expected grid count, got '{count_line}'"),
+        })?;
+        let parse_dim = |offset: usize, what: &str| -> Result<Vec<usize>, ParseError> {
+            let (ln, line) = lines.get(idx + offset).ok_or(ParseError {
+                line: 0,
+                message: format!("missing {what} line"),
+            })?;
+            line.split_whitespace()
+                .take(ngrids)
+                .map(|t| {
+                    t.parse().map_err(|_| ParseError {
+                        line: *ln,
+                        message: format!("bad {what} value '{t}'"),
+                    })
+                })
+                .collect()
+        };
+        let ps = parse_dim(1, "Ps")?;
+        let qs = parse_dim(2, "Qs")?;
+        if ps.len() != ngrids || qs.len() != ngrids {
+            return Err(ParseError {
+                line: lines[idx].0,
+                message: format!("expected {ngrids} P and Q values"),
+            });
+        }
+        let grids: Vec<(usize, usize)> = ps.into_iter().zip(qs).collect();
+        if grids.iter().any(|&(p, q)| p == 0 || q == 0) {
+            return Err(ParseError {
+                line: lines[idx].0,
+                message: "process grid dimensions must be positive".into(),
+            });
+        }
+
+        // Look for an optional DEPTHs line: a "# of lookahead depth" count
+        // followed by the depth values (we take the first).
+        let mut depth = 1usize;
+        for w in lines.windows(2) {
+            let label = w[0].1.to_ascii_lowercase();
+            if label.contains("lookahead depth") {
+                if let Ok(d) = first_token(w[1].1).parse() {
+                    depth = d;
+                }
+            }
+        }
+        Ok(Self {
+            ns,
+            nbs,
+            grids,
+            depth,
+        })
+    }
+
+    /// The look-ahead scheme HPL's DEPTH maps to in our implementation.
+    pub fn lookahead(&self) -> Lookahead {
+        match self.depth {
+            0 => Lookahead::None,
+            1 => Lookahead::Basic,
+            _ => Lookahead::Pipelined,
+        }
+    }
+
+    /// Expands the cross-product of (N, NB, grid) into run configurations,
+    /// in HPL's nesting order (grids outermost, then N, then NB).
+    pub fn expand(&self, cards_per_node: usize, host_mem_gib: f64) -> Vec<HybridConfig> {
+        let mut out = Vec::new();
+        for &(p, q) in &self.grids {
+            for &n in &self.ns {
+                for &nb in &self.nbs {
+                    let mut cfg = HybridConfig::new(n, ProcessGrid::new(p, q), cards_per_node);
+                    cfg.nb = nb;
+                    cfg.lookahead = self.lookahead();
+                    cfg.host_mem_gib = host_mem_gib;
+                    out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A ready-made HPL.dat reproducing the paper's Table III pipelined
+/// single-card column.
+pub fn paper_table3_dat() -> &'static str {
+    "HPLinpack benchmark input file (linpack-phi reproduction)\n\
+     HPL.out      output file name (if any)\n\
+     6            device out (6=stdout)\n\
+     3            # of problems sizes (N)\n\
+     84000 168000 825000  Ns\n\
+     1            # of NBs\n\
+     1200         NBs\n\
+     0            PMAP process mapping (0=Row-,1=Column-major)\n\
+     3            # of process grids (P x Q)\n\
+     1 2 10       Ps\n\
+     1 2 10       Qs\n\
+     16.0         threshold\n\
+     1            # of lookahead depth\n\
+     2            DEPTHs (>=2 selects the pipelined scheme)\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_plan() {
+        let dat = HplDat::parse(paper_table3_dat()).unwrap();
+        assert_eq!(dat.ns, vec![84_000, 168_000, 825_000]);
+        assert_eq!(dat.nbs, vec![1200]);
+        assert_eq!(dat.grids, vec![(1, 1), (2, 2), (10, 10)]);
+        assert_eq!(dat.depth, 2);
+        assert_eq!(dat.lookahead(), Lookahead::Pipelined);
+    }
+
+    #[test]
+    fn expansion_order_and_count() {
+        let dat = HplDat::parse(paper_table3_dat()).unwrap();
+        let runs = dat.expand(1, 64.0);
+        assert_eq!(runs.len(), 9, "3 grids x 3 Ns x 1 NB");
+        // Grid outermost.
+        assert_eq!(runs[0].grid.p, 1);
+        assert_eq!(runs[0].n, 84_000);
+        assert_eq!(runs[3].grid.p, 2);
+        assert_eq!(runs[8].grid.p, 10);
+        assert_eq!(runs[8].n, 825_000);
+        assert!(runs.iter().all(|c| c.nb == 1200));
+    }
+
+    #[test]
+    fn depth_zero_and_one_map_to_schemes() {
+        let base = paper_table3_dat().replace(
+            "2            DEPTHs (>=2 selects the pipelined scheme)",
+            "0   DEPTHs",
+        );
+        assert_eq!(HplDat::parse(&base).unwrap().lookahead(), Lookahead::None);
+        let one = paper_table3_dat().replace(
+            "2            DEPTHs (>=2 selects the pipelined scheme)",
+            "1   DEPTHs",
+        );
+        assert_eq!(HplDat::parse(&one).unwrap().lookahead(), Lookahead::Basic);
+    }
+
+    #[test]
+    fn missing_depth_defaults_to_basic() {
+        let truncated: String = paper_table3_dat()
+            .lines()
+            .take(12)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let dat = HplDat::parse(&truncated).unwrap();
+        assert_eq!(dat.depth, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = paper_table3_dat().replace("84000 168000 825000  Ns", "84000 xyz 825000 Ns");
+        let err = HplDat::parse(&bad).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("xyz"));
+
+        let short = "just\ntwo lines";
+        assert!(HplDat::parse(short).is_err());
+
+        let zero_grid = paper_table3_dat().replace("1 2 10       Ps", "0 2 10 Ps");
+        assert!(HplDat::parse(&zero_grid).is_err());
+    }
+
+    #[test]
+    fn count_truncates_extra_values() {
+        let extra = paper_table3_dat().replace("1            # of NBs", "1  # of NBs");
+        let dat = HplDat::parse(&extra).unwrap();
+        assert_eq!(dat.nbs.len(), 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! Hybrid HPL (Section V): host + coprocessor(s), one node or a P × Q
+//! cluster.
+//!
+//! Per LU stage, the host factors the panel, broadcasts it along its
+//! process row, performs the row swaps, the `U` DTRSM and the `U`
+//! broadcast down the columns, and the trailing update is offloaded to
+//! the card(s) with host work stealing. The three schemes of Fig. 8
+//! differ in what overlaps:
+//!
+//! * [`Lookahead::None`] — everything serial; the card idles through all
+//!   host phases (Fig. 8a).
+//! * [`Lookahead::Basic`] — the *next* panel factorization (and its
+//!   broadcast) overlaps the current trailing update; the card still
+//!   idles through U broadcast, swapping and DTRSM — ≈13% of iteration
+//!   time at N = 84K (Fig. 8b / Fig. 9a).
+//! * [`Lookahead::Pipelined`] — those three steps are additionally
+//!   pipelined in column strips against the update, hiding all but the
+//!   first strip; the price is extra per-strip overhead that delays late
+//!   panels (Fig. 8c / Fig. 9b). This is the paper's contribution on top
+//!   of Bach et al., worth up to 11% per iteration.
+//!
+//! The simulation composes per-stage times from the calibrated host,
+//! card, PCIe and network models, iterating the real block-cyclic
+//! geometry of the grid, and reports both the end-to-end result
+//! (Table III) and per-iteration profiles (Fig. 9).
+
+pub mod stage_gantt;
+
+use crate::offload::OffloadModel;
+use crate::report::GigaflopsReport;
+use phi_fabric::{NetModel, ProcessGrid};
+use phi_knc::Precision;
+
+/// Look-ahead scheme (Fig. 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookahead {
+    /// No overlap (Fig. 8a).
+    None,
+    /// Panel overlapped with update (Fig. 8b).
+    Basic,
+    /// Panel overlap + swap/DTRSM/U-broadcast pipelining (Fig. 8c).
+    Pipelined,
+}
+
+/// Configuration of a hybrid (or CPU-only) HPL run.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Global problem size.
+    pub n: usize,
+    /// Block size (`NB = Kt = 1200`, set by the PCIe bound of §V-B).
+    pub nb: usize,
+    /// Process grid.
+    pub grid: ProcessGrid,
+    /// Coprocessors per node (0 = CPU-only MKL-style run).
+    pub cards_per_node: usize,
+    /// Card/host/PCIe models.
+    pub offload: OffloadModel,
+    /// Inter-node network.
+    pub net: NetModel,
+    /// Scheme in force.
+    pub lookahead: Lookahead,
+    /// Host memory per node, GiB (gates the problem size; Table III's
+    /// fourth section doubles it to 128 GB).
+    pub host_mem_gib: f64,
+    /// Host cores reserved for packing/DMA when cards are present.
+    pub pack_cores: f64,
+    /// Host cores joining the trailing update by work stealing.
+    pub host_update_cores: f64,
+    /// Strips used by the pipelined scheme.
+    pub strips: usize,
+    /// Fractional per-stage overhead the pipelining adds to the host path
+    /// (extra messages/synchronization that "delays panel factorization").
+    pub pipeline_overhead: f64,
+    /// Efficiency of the host's LU machinery relative to raw MKL DGEMM
+    /// (look-ahead bookkeeping, ragged tiles) — calibrated to the MKL MP
+    /// Linpack rows of Table III.
+    pub host_lu_efficiency: f64,
+}
+
+impl HybridConfig {
+    /// Table III-style defaults: NB = 1200, one card, basic look-ahead.
+    pub fn new(n: usize, grid: ProcessGrid, cards_per_node: usize) -> Self {
+        Self {
+            n,
+            nb: 1200,
+            grid,
+            cards_per_node,
+            offload: OffloadModel::default(),
+            net: NetModel::default(),
+            lookahead: Lookahead::Pipelined,
+            host_mem_gib: 64.0,
+            pack_cores: 2.0,
+            host_update_cores: 11.0,
+            strips: 12,
+            pipeline_overhead: 0.12,
+            host_lu_efficiency: 0.95,
+        }
+    }
+
+    /// Per-node matrix bytes.
+    pub fn bytes_per_node(&self) -> f64 {
+        (self.n as f64 / self.grid.p as f64) * (self.n as f64 / self.grid.q as f64) * 8.0
+    }
+
+    /// Peak GFLOPS of the whole machine (hosts + cards).
+    pub fn peak_gflops(&self) -> f64 {
+        let host = self.offload.host.cfg.peak_gflops();
+        let card = self
+            .offload
+            .card
+            .chip
+            .full_peak_gflops(Precision::F64);
+        self.grid.size() as f64 * (host + self.cards_per_node as f64 * card)
+    }
+}
+
+/// Per-iteration profile (the Fig. 9 series).
+#[derive(Clone, Copy, Debug)]
+pub struct IterationProfile {
+    /// Stage index.
+    pub stage: usize,
+    /// Global trailing dimension at this stage.
+    pub trailing_n: usize,
+    /// Stage wall time, seconds.
+    pub stage_time: f64,
+    /// Card compute within the stage, seconds.
+    pub card_busy: f64,
+    /// Host panel + its broadcast (exposed portion).
+    pub panel_exposed: f64,
+    /// Swap + DTRSM + U-broadcast exposed to the card.
+    pub three_exposed: f64,
+    /// Trailing-update time.
+    pub update: f64,
+}
+
+/// End-to-end result of a run.
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// Overall performance.
+    pub report: GigaflopsReport,
+    /// Per-stage profiles (empty unless requested).
+    pub iterations: Vec<IterationProfile>,
+    /// Aggregate card idle fraction.
+    pub card_idle_fraction: f64,
+}
+
+/// Runs the per-stage simulation.
+///
+/// # Panics
+/// Panics when the per-node share does not fit in host memory — the same
+/// constraint that structures Table III.
+pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResult {
+    assert!(
+        cfg.bytes_per_node() <= cfg.host_mem_gib * 1.073741824e9 * 0.95,
+        "N = {} does not fit in {} GiB/node on a {}x{} grid",
+        cfg.n,
+        cfg.host_mem_gib,
+        cfg.grid.p,
+        cfg.grid.q
+    );
+    let s = cfg.n.div_ceil(cfg.nb);
+    let host = &cfg.offload.host;
+    let net = &cfg.net;
+    let (p, q) = (cfg.grid.p, cfg.grid.q);
+    let host_cores = host.cfg.cores() as f64;
+
+    let mut total = 0.0f64;
+    let mut card_busy_total = 0.0f64;
+    let mut profiles = Vec::new();
+
+    for stage in 0..s {
+        let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
+        // Worst-node local trailing extents (block-cyclic).
+        let rows_loc = (0..p)
+            .map(|r| cfg.grid.trailing_blocks_row(r, stage + 1, s))
+            .max()
+            .unwrap_or(0)
+            * cfg.nb;
+        let cols_loc = (0..q)
+            .map(|c| cfg.grid.trailing_blocks_col(c, stage + 1, s))
+            .max()
+            .unwrap_or(0)
+            * cfg.nb;
+        let rows_loc = rows_loc.min(cfg.n);
+        let cols_loc = cols_loc.min(cfg.n);
+
+        // Panel: distributed down the owner column; pivot search adds a
+        // per-column exchange across P.
+        let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+        let panel_cores = host_cores - if cfg.cards_per_node > 0 { cfg.pack_cores } else { 0.0 };
+        let t_panel = host.panel_time_s(m_panel_loc, nb, panel_cores)
+            + if p > 1 {
+                nb as f64 * 2.0 * net.latency * (p as f64).log2().ceil()
+            } else {
+                0.0
+            };
+        let t_pbcast = net.ring_bcast(8.0 * (m_panel_loc * nb) as f64, q);
+
+        // The three card-exposed steps.
+        let t_swap = host.swap_time_s(nb, cols_loc) + net.long_swap(nb, cols_loc, p);
+        let t_trsm = host.trsm_time_s(nb, cols_loc, panel_cores);
+        let t_ubcast = net.u_bcast(nb, cols_loc, p);
+        let three = t_swap + t_trsm + t_ubcast;
+
+        // Trailing update.
+        let (t_update, busy) = if rows_loc == 0 || cols_loc == 0 {
+            (0.0, 0.0)
+        } else if cfg.cards_per_node > 0 {
+            let out = cfg.offload.analytic(
+                rows_loc,
+                cols_loc,
+                cfg.cards_per_node,
+                cfg.host_update_cores,
+            );
+            (out.time_s, out.card_busy_s)
+        } else {
+            (
+                host.gemm_time_s(rows_loc, cols_loc, nb, host_cores) / cfg.host_lu_efficiency,
+                0.0,
+            )
+        };
+
+        let (stage_time, three_exposed, panel_exposed) = match cfg.lookahead {
+            Lookahead::None => (t_panel + t_pbcast + three + t_update, three, t_panel + t_pbcast),
+            Lookahead::Basic => {
+                let overlap = t_update.max(t_panel + t_pbcast);
+                (
+                    three + overlap,
+                    three,
+                    (t_panel + t_pbcast - t_update).max(0.0),
+                )
+            }
+            Lookahead::Pipelined => {
+                // Only the first strip of the three steps is exposed; the
+                // rest hides under the update. The strip machinery costs
+                // `pipeline_overhead` of the three steps, paid on the host
+                // path where it delays the panel.
+                let first_strip = three / cfg.strips as f64;
+                let host_path = t_panel + t_pbcast + three * cfg.pipeline_overhead;
+                let card_path = t_update + first_strip;
+                (
+                    card_path.max(host_path),
+                    first_strip,
+                    (host_path - card_path).max(0.0),
+                )
+            }
+        };
+
+        total += stage_time;
+        card_busy_total += busy;
+        if keep_profiles {
+            profiles.push(IterationProfile {
+                stage,
+                trailing_n: cfg.n - stage * cfg.nb,
+                stage_time,
+                card_busy: busy,
+                panel_exposed,
+                three_exposed,
+                update: t_update,
+            });
+        }
+    }
+
+    // Final back-substitution: bandwidth bound, negligible but real.
+    total += 2.0 * (cfg.n as f64 / p as f64) * (cfg.n as f64 / q as f64) * 8.0
+        / (host.cfg.stream_bw_gbs * 1e9);
+
+    let peak = cfg.peak_gflops();
+    let report = GigaflopsReport::new(cfg.n, total, peak);
+    let card_idle_fraction = if cfg.cards_per_node > 0 && total > 0.0 {
+        1.0 - card_busy_total / (total * cfg.cards_per_node as f64)
+    } else {
+        0.0
+    };
+    ClusterResult {
+        report,
+        iterations: profiles,
+        card_idle_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: usize, p: usize, q: usize, cards: usize, la: Lookahead, mem: f64) -> ClusterResult {
+        let mut cfg = HybridConfig::new(n, ProcessGrid::new(p, q), cards);
+        cfg.lookahead = la;
+        cfg.host_mem_gib = mem;
+        simulate_cluster(&cfg, false)
+    }
+
+    #[test]
+    fn single_node_single_card_pipelined_near_80_percent() {
+        // Table III: pipeline, 1 card, 64GB, N=84K → 1.12 TFLOPS, 79.8%.
+        let r = run(84_000, 1, 1, 1, Lookahead::Pipelined, 64.0);
+        let eff = r.report.efficiency();
+        assert!(
+            (eff - 0.798).abs() < 0.025,
+            "single-node pipelined eff = {eff:.3} ({:.2} TFLOPS)",
+            r.report.gflops / 1e3
+        );
+    }
+
+    #[test]
+    fn pipelining_beats_basic_by_several_points() {
+        // Table III: 71.0% → 79.8% on a single node ("pipelined look-ahead
+        // improves hybrid HPL efficiency by 7%-9%").
+        let basic = run(84_000, 1, 1, 1, Lookahead::Basic, 64.0);
+        let pipe = run(84_000, 1, 1, 1, Lookahead::Pipelined, 64.0);
+        let gain = pipe.report.efficiency() - basic.report.efficiency();
+        assert!(
+            (0.05..0.12).contains(&gain),
+            "pipelining gain {gain:.3} (basic {:.3}, pipe {:.3})",
+            basic.report.efficiency(),
+            pipe.report.efficiency()
+        );
+    }
+
+    #[test]
+    fn no_lookahead_is_worst() {
+        let none = run(84_000, 1, 1, 1, Lookahead::None, 64.0);
+        let basic = run(84_000, 1, 1, 1, Lookahead::Basic, 64.0);
+        assert!(none.report.efficiency() < basic.report.efficiency());
+    }
+
+    #[test]
+    fn hundred_node_run_matches_headline() {
+        // Table III: pipeline, 1 card, N=825K, 10×10 → 107 TFLOPS, 76.1%.
+        let r = run(825_000, 10, 10, 1, Lookahead::Pipelined, 64.0);
+        let tf = r.report.gflops / 1e3;
+        assert!(
+            (tf - 107.0).abs() < 5.0,
+            "100-node run = {tf:.1} TFLOPS ({:.3})",
+            r.report.efficiency()
+        );
+        assert!((r.report.efficiency() - 0.761).abs() < 0.03);
+    }
+
+    #[test]
+    fn multi_node_degrades_by_a_few_percent() {
+        // "performance degradation of multi-node implementation, compared
+        // to a single node is 4%".
+        let single = run(84_000, 1, 1, 1, Lookahead::Pipelined, 64.0);
+        let quad = run(168_000, 2, 2, 1, Lookahead::Pipelined, 64.0);
+        let drop = single.report.efficiency() - quad.report.efficiency();
+        assert!(
+            (0.0..0.08).contains(&drop),
+            "multi-node drop {drop:.3} (1-node {:.3}, 4-node {:.3})",
+            single.report.efficiency(),
+            quad.report.efficiency()
+        );
+    }
+
+    #[test]
+    fn second_card_costs_efficiency() {
+        // Table III: "the efficiency loss due to a second Knights Corner
+        // card is 4.2%" (84K: 79.8% → 76.6%).
+        let one = run(84_000, 1, 1, 1, Lookahead::Pipelined, 64.0);
+        let two = run(84_000, 1, 1, 2, Lookahead::Pipelined, 64.0);
+        let loss = one.report.efficiency() - two.report.efficiency();
+        assert!(
+            (0.01..0.08).contains(&loss),
+            "dual-card loss {loss:.3} (1 card {:.3}, 2 cards {:.3})",
+            one.report.efficiency(),
+            two.report.efficiency()
+        );
+    }
+
+    #[test]
+    fn more_memory_lifts_dual_card_efficiency() {
+        // Table III fourth section: doubling node memory to 128 GB lets
+        // N grow to 242K on 2×2 and lifts efficiency.
+        let small = run(166_000, 2, 2, 2, Lookahead::Pipelined, 64.0);
+        let big = run(242_000, 2, 2, 2, Lookahead::Pipelined, 128.0);
+        assert!(big.report.efficiency() > small.report.efficiency());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn memory_gate_enforced() {
+        let _ = run(242_000, 2, 2, 2, Lookahead::Pipelined, 64.0);
+    }
+
+    #[test]
+    fn cpu_only_matches_mkl_results() {
+        // Table III first section: Sandy Bridge only, N=84K → 86.4% on a
+        // single node; N=168K on 2×2 → 82.8%.
+        let one = run(84_000, 1, 1, 0, Lookahead::Basic, 64.0);
+        assert!(
+            (one.report.efficiency() - 0.864).abs() < 0.03,
+            "CPU-only single node {:.3}",
+            one.report.efficiency()
+        );
+        let four = run(168_000, 2, 2, 0, Lookahead::Basic, 64.0);
+        assert!(
+            (four.report.efficiency() - 0.828).abs() < 0.035,
+            "CPU-only 2x2 {:.3}",
+            four.report.efficiency()
+        );
+        assert!(four.report.efficiency() < one.report.efficiency());
+    }
+
+    #[test]
+    fn pipelined_idle_small_basic_idle_large() {
+        // Fig. 9: basic ≈13% of iteration in the three steps; pipelined
+        // < 3% early on.
+        let mut cfg = HybridConfig::new(84_000, ProcessGrid::new(2, 2), 2);
+        cfg.lookahead = Lookahead::Basic;
+        let basic = simulate_cluster(&cfg, true);
+        cfg.lookahead = Lookahead::Pipelined;
+        let pipe = simulate_cluster(&cfg, true);
+
+        // Average the early (large-matrix) third of the iterations.
+        let early = |r: &ClusterResult| {
+            let k = r.iterations.len() / 3;
+            let exp: f64 = r.iterations[..k].iter().map(|i| i.three_exposed).sum();
+            let tot: f64 = r.iterations[..k].iter().map(|i| i.stage_time).sum();
+            exp / tot
+        };
+        let fb = early(&basic);
+        let fp = early(&pipe);
+        // The paper reports the card "idle at least 13% of the time" under
+        // basic look-ahead; in our model the three steps expose ~24% of
+        // the early iterations on this configuration.
+        assert!(
+            (0.10..0.30).contains(&fb),
+            "basic three-step exposure {fb:.3}"
+        );
+        assert!(fp < 0.030, "pipelined exposure {fp:.3}");
+        assert!(fb > 4.0 * fp, "pipelining must collapse the exposure");
+    }
+}

@@ -1,0 +1,233 @@
+//! One-iteration Gantt charts of the three look-ahead schemes (Fig. 8).
+//!
+//! Fig. 8 of the paper is a timing diagram of a single HPL iteration on
+//! one node: which of {host, coprocessor} does what, and what overlaps.
+//! This module replays one stage of the per-stage model as explicit
+//! spans on two lanes — lane 0 = Sandy Bridge EP, lane 1 = Knights
+//! Corner — for each [`Lookahead`] scheme, reproducing the figure's
+//! structure: serial everything (8a), panel under update (8b), and the
+//! swap/DTRSM/U-broadcast strips pipelined against the update (8c).
+
+use super::{HybridConfig, Lookahead};
+use phi_des::{Kind, Trace};
+
+/// Lane index of the host in the produced traces.
+pub const HOST_LANE: u32 = 0;
+/// Lane index of the coprocessor.
+pub const CARD_LANE: u32 = 1;
+
+/// Ingredients of one stage, extracted from the models.
+#[derive(Clone, Copy, Debug)]
+pub struct StageTimes {
+    /// Next panel factorization + its row broadcast (host).
+    pub panel: f64,
+    /// Row swapping (host + network).
+    pub swap: f64,
+    /// U DTRSM (host).
+    pub trsm: f64,
+    /// U broadcast (network, shown on the host lane).
+    pub ubcast: f64,
+    /// Trailing update (card).
+    pub update: f64,
+}
+
+/// Computes the stage ingredients at `stage` for `cfg` (worst node).
+pub fn stage_times(cfg: &HybridConfig, stage: usize) -> StageTimes {
+    let s = cfg.n.div_ceil(cfg.nb);
+    assert!(stage < s, "stage out of range");
+    let host = &cfg.offload.host;
+    let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
+    let (p, q) = (cfg.grid.p, cfg.grid.q);
+    let rows_loc = (0..p)
+        .map(|r| cfg.grid.trailing_blocks_row(r, stage + 1, s))
+        .max()
+        .unwrap_or(0)
+        * cfg.nb;
+    let cols_loc = (0..q)
+        .map(|c| cfg.grid.trailing_blocks_col(c, stage + 1, s))
+        .max()
+        .unwrap_or(0)
+        * cfg.nb;
+    let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+    let panel_cores = host.cfg.cores() as f64 - cfg.pack_cores;
+
+    let panel = host.panel_time_s(m_panel_loc, nb, panel_cores)
+        + cfg.net.ring_bcast(8.0 * (m_panel_loc * nb) as f64, q);
+    let swap = host.swap_time_s(nb, cols_loc) + cfg.net.long_swap(nb, cols_loc, p);
+    let trsm = host.trsm_time_s(nb, cols_loc, panel_cores);
+    let ubcast = cfg.net.u_bcast(nb, cols_loc, p);
+    let update = if rows_loc > 0 && cols_loc > 0 {
+        cfg.offload
+            .analytic(rows_loc, cols_loc, cfg.cards_per_node, cfg.host_update_cores)
+            .time_s
+    } else {
+        0.0
+    };
+    StageTimes {
+        panel,
+        swap,
+        trsm,
+        ubcast,
+        update,
+    }
+}
+
+/// Builds the Fig. 8 trace of one iteration under `scheme`. Returns the
+/// trace and the iteration's wall time.
+pub fn scheme_gantt(t: &StageTimes, scheme: Lookahead, strips: usize) -> (Trace, f64) {
+    let mut tr = Trace::default();
+    tr.enable();
+    match scheme {
+        Lookahead::None => {
+            // Fig. 8a: panel → swap → trsm → ubcast → update, card idle
+            // throughout the host phases.
+            let mut now = 0.0;
+            for (kind, dur) in [
+                (Kind::Panel, t.panel),
+                (Kind::Swap, t.swap),
+                (Kind::Trsm, t.trsm),
+                (Kind::Comm, t.ubcast),
+            ] {
+                tr.record(HOST_LANE, now, now + dur, kind);
+                tr.record(CARD_LANE, now, now + dur, Kind::Barrier);
+                now += dur;
+            }
+            tr.record(CARD_LANE, now, now + t.update, Kind::Gemm);
+            (tr, now + t.update)
+        }
+        Lookahead::Basic => {
+            // Fig. 8b: the three steps first (card idle), then the update
+            // on the card overlapped with the next panel on the host.
+            let mut now = 0.0;
+            for (kind, dur) in [
+                (Kind::Swap, t.swap),
+                (Kind::Trsm, t.trsm),
+                (Kind::Comm, t.ubcast),
+            ] {
+                tr.record(HOST_LANE, now, now + dur, kind);
+                tr.record(CARD_LANE, now, now + dur, Kind::Barrier);
+                now += dur;
+            }
+            tr.record(CARD_LANE, now, now + t.update, Kind::Gemm);
+            tr.record(HOST_LANE, now, now + t.panel, Kind::Panel);
+            let host_end = now + t.panel;
+            let card_end = now + t.update;
+            let end = host_end.max(card_end);
+            if card_end < end {
+                tr.record(CARD_LANE, card_end, end, Kind::Barrier);
+            }
+            (tr, end)
+        }
+        Lookahead::Pipelined => {
+            // Fig. 8c: the three steps are cut into column strips; the
+            // card starts updating as soon as strip 0 lands and each
+            // subsequent strip hides under the running update.
+            let strips = strips.max(1);
+            let three = t.swap + t.trsm + t.ubcast;
+            let strip = three / strips as f64;
+            let mut now = 0.0;
+            for s in 0..strips {
+                let frac = |x: f64| x / strips as f64;
+                tr.record(HOST_LANE, now, now + frac(t.swap), Kind::Swap);
+                tr.record(
+                    HOST_LANE,
+                    now + frac(t.swap),
+                    now + frac(t.swap) + frac(t.trsm),
+                    Kind::Trsm,
+                );
+                tr.record(
+                    HOST_LANE,
+                    now + frac(t.swap) + frac(t.trsm),
+                    now + strip,
+                    Kind::Comm,
+                );
+                if s == 0 {
+                    tr.record(CARD_LANE, now, now + strip, Kind::Barrier);
+                }
+                now += strip;
+            }
+            // Card: update starts after strip 0.
+            let update_start = strip;
+            let update_end = update_start + t.update;
+            tr.record(CARD_LANE, update_start, update_end, Kind::Gemm);
+            // Host: panel after the strips.
+            tr.record(HOST_LANE, three, three + t.panel, Kind::Panel);
+            let end = update_end.max(three + t.panel);
+            (tr, end)
+        }
+    }
+}
+
+/// Renders all three schemes for one configuration/stage as ASCII Gantt
+/// charts.
+pub fn fig8_render(cfg: &HybridConfig, stage: usize, width: usize) -> String {
+    let t = stage_times(cfg, stage);
+    let mut out = String::new();
+    for (scheme, label) in [
+        (Lookahead::None, "no look-ahead (Fig. 8a)"),
+        (Lookahead::Basic, "basic look-ahead (Fig. 8b)"),
+        (Lookahead::Pipelined, "pipelined look-ahead (Fig. 8c)"),
+    ] {
+        let (trace, dur) = scheme_gantt(&t, scheme, cfg.strips);
+        out.push_str(&format!(
+            "{label}: iteration {dur:.3}s  (lane 0 = host, lane 1 = card; \
+             P=panel S=swap T=DTRSM C=bcast G=update .=idle)\n"
+        ));
+        out.push_str(&trace.gantt_ascii(width, dur));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_fabric::ProcessGrid;
+
+    fn cfg() -> HybridConfig {
+        HybridConfig::new(84_000, ProcessGrid::new(2, 2), 2)
+    }
+
+    #[test]
+    fn scheme_durations_are_ordered() {
+        let t = stage_times(&cfg(), 5);
+        let (_, none) = scheme_gantt(&t, Lookahead::None, 12);
+        let (_, basic) = scheme_gantt(&t, Lookahead::Basic, 12);
+        let (_, pipe) = scheme_gantt(&t, Lookahead::Pipelined, 12);
+        assert!(none > basic, "{none} vs {basic}");
+        assert!(basic > pipe, "{basic} vs {pipe}");
+    }
+
+    #[test]
+    fn card_idle_shrinks_with_pipelining() {
+        let t = stage_times(&cfg(), 5);
+        let idle = |scheme| {
+            let (tr, dur) = scheme_gantt(&t, scheme, 12);
+            1.0 - tr.lane_busy_fraction(CARD_LANE, dur)
+        };
+        let i_none = idle(Lookahead::None);
+        let i_basic = idle(Lookahead::Basic);
+        let i_pipe = idle(Lookahead::Pipelined);
+        assert!(i_none > i_basic, "{i_none} vs {i_basic}");
+        assert!(i_basic > i_pipe, "{i_basic} vs {i_pipe}");
+        assert!(i_pipe < 0.06, "pipelined card idle {i_pipe:.3}");
+    }
+
+    #[test]
+    fn render_contains_all_three_schemes() {
+        let text = fig8_render(&cfg(), 5, 80);
+        assert!(text.contains("Fig. 8a"));
+        assert!(text.contains("Fig. 8b"));
+        assert!(text.contains("Fig. 8c"));
+        assert!(text.matches("G").count() > 10, "update spans visible");
+    }
+
+    #[test]
+    fn stage_times_shrink_with_stage() {
+        let c = cfg();
+        let early = stage_times(&c, 2);
+        let late = stage_times(&c, 60);
+        assert!(late.update < early.update);
+        assert!(late.swap <= early.swap);
+    }
+}

@@ -1,0 +1,179 @@
+//! Static look-ahead baseline (Fig. 6/7a).
+//!
+//! The scheme of Deisher et al. that the paper compares against: at each
+//! stage a **fixed** partition assigns the minimum number of threads to
+//! the next panel factorization (to hide it under the trailing update
+//! executed by the remaining threads), and a **global barrier**
+//! synchronizes all threads between stages. For small problems the panel
+//! and the barrier dominate (Fig. 7a), which is exactly where dynamic
+//! scheduling wins; for large problems the two schemes converge.
+
+use super::NativeConfig;
+use crate::report::GigaflopsReport;
+use phi_des::{Kind, Sim};
+use phi_knc::Precision;
+
+/// Simulates the static look-ahead scheme. With `trace`, spans land on
+/// lane 0 (update side) and lane 1 (panel side) for the Fig. 7a chart.
+pub fn simulate_static(cfg: &NativeConfig, trace: bool) -> GigaflopsReport {
+    let (r, _) = simulate_static_traced(cfg, trace);
+    r
+}
+
+/// Like [`simulate_static`] but returning the trace.
+pub fn simulate_static_traced(cfg: &NativeConfig, trace: bool) -> (GigaflopsReport, phi_des::Trace) {
+    let npanels = cfg.npanels();
+    assert!(npanels > 0, "empty problem");
+    let t = &cfg.tasks;
+    let total_threads = cfg.total_threads as f64;
+    let chip_cores = total_threads / 4.0;
+    let peak = t.gemm.chip.native_peak_gflops(Precision::F64);
+
+    let mut sim = Sim::new();
+    if trace {
+        sim.trace_mut().enable();
+    }
+    let mut now = 0.0f64;
+
+    // Stage -1: the first panel is factored by everyone, unoverlapped.
+    {
+        let dur = t.panel_time_s(cfg.n, cfg.panel_width(0), chip_cores);
+        sim.trace_mut().record(1, now, now + dur, Kind::Panel);
+        now += dur;
+    }
+
+    for stage in 0..npanels {
+        let nbs = cfg.panel_width(stage);
+        let trail_cols: usize = (stage + 1..npanels).map(|j| cfg.panel_width(j)).sum();
+        let m_trail = cfg.rows_at(stage + 1);
+
+        // The update side also executes group-granular per-panel tasks
+        // (the fixed partition of Section IV-A's "original implementation"),
+        // but the global barrier forces every stage's last wave of tasks
+        // to complete before anything else starts — wave quantization that
+        // dynamic scheduling escapes by blurring stage boundaries.
+        let group_threads = 16usize;
+        let staged_update = |rest_threads: f64| -> f64 {
+            let tasks = npanels - stage - 1;
+            if tasks == 0 || m_trail == 0 {
+                return 0.0;
+            }
+            let groups = ((rest_threads / group_threads as f64).floor() as usize).max(1);
+            let waves = tasks.div_ceil(groups) as f64;
+            let per_task = t.swap_time_s(nbs, cfg.nb, group_threads as f64 / 4.0)
+                + t.trsm_time_s(nbs, cfg.nb, group_threads as f64 / 4.0)
+                + t.update_time_s(m_trail, cfg.nb, nbs, group_threads as f64 / 4.0);
+            waves * per_task
+        };
+
+        // Pick the minimal panel-group size (in threads, multiples of 4)
+        // that hides the *next* panel under this stage's update.
+        let mut panel_threads = 0usize;
+        let mut update_time = 0.0;
+        let mut panel_time = 0.0;
+        if stage + 1 < npanels && m_trail > 0 {
+            // Times as a function of the split.
+            let next_m = cfg.rows_at(stage + 1);
+            let next_w = cfg.panel_width(stage + 1);
+            let mut chosen = None;
+            let mut threads = 4usize;
+            while threads <= cfg.total_threads - 4 {
+                let p = t.panel_time_s(next_m, next_w, threads as f64 / 4.0);
+                let u = staged_update(total_threads - threads as f64);
+                if p <= u {
+                    chosen = Some((threads, p, u));
+                    break;
+                }
+                threads *= 2;
+            }
+            let (pt, p, u) = chosen.unwrap_or_else(|| {
+                // Cannot hide: give the panel half the machine.
+                let threads = cfg.total_threads / 2;
+                let p = t.panel_time_s(next_m, next_w, threads as f64 / 4.0);
+                let u = staged_update(total_threads - threads as f64);
+                (threads, p, u)
+            });
+            panel_threads = pt;
+            panel_time = p;
+            update_time = u;
+        } else if m_trail > 0 && trail_cols > 0 {
+            // Last update has no panel to overlap.
+            update_time = staged_update(total_threads);
+        }
+        let _ = panel_threads;
+
+        let stage_time = update_time.max(panel_time);
+        if trace {
+            sim.trace_mut()
+                .record(0, now, now + update_time, Kind::Gemm);
+            if panel_time > 0.0 {
+                sim.trace_mut().record(1, now, now + panel_time, Kind::Panel);
+            }
+            // Whoever finishes early waits at the global barrier.
+            let slack_lane = if update_time < panel_time { 0 } else { 1 };
+            sim.trace_mut().record(
+                slack_lane,
+                now + update_time.min(panel_time),
+                now + stage_time,
+                Kind::Barrier,
+            );
+        }
+        now += stage_time + t.barrier_s;
+        if trace {
+            sim.trace_mut()
+                .record(0, now - t.barrier_s, now, Kind::Barrier);
+        }
+    }
+
+    let report = GigaflopsReport::new(cfg.n, now, peak).with_breakdown(sim.trace().totals());
+    (report, sim.trace().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::model::simulate_dynamic;
+    use crate::native::NativeConfig;
+
+    #[test]
+    fn static_converges_to_dynamic_at_30k() {
+        let cfg = NativeConfig::new(30_720);
+        let st = simulate_static(&cfg, false);
+        let dy = simulate_dynamic(&cfg, false);
+        // "For the 30K problem, both schemes achieve 832 GFLOPS."
+        let gap = (dy.efficiency() - st.efficiency()).abs();
+        assert!(
+            gap < 0.03,
+            "static {:.3} vs dynamic {:.3}",
+            st.efficiency(),
+            dy.efficiency()
+        );
+    }
+
+    #[test]
+    fn dynamic_wins_below_8k() {
+        // "up to 8K, dynamic scheduling outperforms static look-ahead".
+        for n in [2048usize, 4096, 6144] {
+            let cfg = NativeConfig::new(n);
+            let st = simulate_static(&cfg, false);
+            let dy = simulate_dynamic(&cfg, false);
+            assert!(
+                dy.gflops > st.gflops,
+                "n={n}: dynamic {:.1} must beat static {:.1}",
+                dy.gflops,
+                st.gflops
+            );
+        }
+    }
+
+    #[test]
+    fn static_trace_shows_barriers() {
+        let cfg = NativeConfig::new(5120);
+        let (r, trace) = simulate_static_traced(&cfg, true);
+        assert!(r.gflops > 0.0);
+        assert!(trace
+            .spans()
+            .iter()
+            .any(|s| s.kind == phi_des::Kind::Barrier));
+    }
+}

@@ -1,0 +1,77 @@
+//! Result types shared by all Linpack flavours.
+
+use phi_des::Kind;
+
+/// The FLOP count HPL credits a solved `N × N` system with:
+/// `2/3 N³ + 3/2 N²` (factorization plus solve).
+pub fn hpl_flops(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 / 3.0 * n * n * n + 1.5 * n * n
+}
+
+/// A performance result with its efficiency denominator.
+#[derive(Clone, Debug)]
+pub struct GigaflopsReport {
+    /// Problem size.
+    pub n: usize,
+    /// Wall (virtual) time in seconds.
+    pub time_s: f64,
+    /// Achieved GFLOPS (HPL convention).
+    pub gflops: f64,
+    /// Peak GFLOPS the efficiency is measured against.
+    pub peak_gflops: f64,
+    /// Time per activity kind, when the run was traced.
+    pub breakdown: Vec<(Kind, f64)>,
+}
+
+impl GigaflopsReport {
+    /// Builds a report from a timed run.
+    pub fn new(n: usize, time_s: f64, peak_gflops: f64) -> Self {
+        assert!(time_s > 0.0, "non-positive run time");
+        Self {
+            n,
+            time_s,
+            gflops: hpl_flops(n) / time_s / 1e9,
+            peak_gflops,
+            breakdown: Vec::new(),
+        }
+    }
+
+    /// Efficiency in `[0, 1]`.
+    pub fn efficiency(&self) -> f64 {
+        self.gflops / self.peak_gflops
+    }
+
+    /// Attaches a time breakdown.
+    pub fn with_breakdown(mut self, breakdown: Vec<(Kind, f64)>) -> Self {
+        self.breakdown = breakdown;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_count_convention() {
+        // 2/3 N³ dominates; the N² term matters at small N.
+        let f = hpl_flops(30_000);
+        assert!((f - (2.0 / 3.0 * 2.7e13 + 1.5 * 9e8)).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn report_efficiency() {
+        let r = GigaflopsReport::new(30_000, 21.63, 1056.0);
+        // 2/3·30000³/21.63s ≈ 832 GFLOPS ≈ 78.8% — the paper's native
+        // headline.
+        assert!((r.gflops - 832.0).abs() < 2.0, "{}", r.gflops);
+        assert!((r.efficiency() - 0.788).abs() < 0.003);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_time_rejected() {
+        GigaflopsReport::new(10, 0.0, 1.0);
+    }
+}

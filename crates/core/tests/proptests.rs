@@ -1,0 +1,157 @@
+//! Property tests for the Linpack flavours: numeric backends must agree
+//! with their sequential oracles on arbitrary shapes, and the timed
+//! backends must respect physical and algorithmic invariants for
+//! arbitrary configurations.
+
+use phi_blas::gemm::{gemm_naive, BlockSizes};
+use phi_blas::lu::getrf;
+use phi_fabric::ProcessGrid;
+use phi_hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use phi_hpl::native::factorize_parallel;
+use phi_hpl::offload::{offload_gemm_numeric, OffloadModel};
+use phi_hpl::refine::solve_mixed_precision;
+use phi_knc::Precision;
+use phi_matrix::{hpl_residual, MatGen, Matrix};
+use phi_sched::GroupPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Offload tile-stealing GEMM equals the naive product for any shape,
+    /// grid and thread mix.
+    #[test]
+    fn offload_numeric_is_exact(
+        m in 1usize..80,
+        n in 1usize..80,
+        k in 1usize..30,
+        gr in 1usize..6,
+        gc in 1usize..6,
+        card_threads in 0usize..3,
+        host_threads in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(card_threads + host_threads > 0);
+        let a = MatGen::new(seed).matrix::<f64>(m, k);
+        let b = MatGen::new(seed + 1).matrix::<f64>(k, n);
+        let c0 = MatGen::new(seed + 2).matrix::<f64>(m, n);
+        let mut expect = c0.clone();
+        gemm_naive(-1.0, &a.view(), &b.view(), 1.0, &mut expect.view_mut());
+        let mut c = c0.clone();
+        offload_gemm_numeric(&a, &b, &mut c, (gr, gc), card_threads, host_threads);
+        prop_assert!(c.max_abs_diff(&expect) < 1e-10 * (k as f64 + 1.0));
+    }
+
+    /// DAG-parallel LU matches sequential getrf for any shape, panel
+    /// width and group plan.
+    #[test]
+    fn parallel_lu_matches_sequential(
+        n in 2usize..64,
+        nb in 1usize..20,
+        threads in 1usize..6,
+        tpg in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(tpg <= threads);
+        let a0 = MatGen::new(seed).matrix::<f64>(n, n);
+        let mut seq = a0.clone();
+        let Ok(piv_seq) = getrf(&mut seq.view_mut(), nb, &BlockSizes::default()) else {
+            return Ok(()); // singular draw: astronomically unlikely
+        };
+        let mut par = a0.clone();
+        let piv_par = factorize_parallel(&mut par, nb, &GroupPlan::new(threads, tpg)).unwrap();
+        prop_assert_eq!(piv_par, piv_seq);
+        prop_assert!(par.max_abs_diff(&seq) < 1e-9);
+    }
+
+    /// Mixed-precision refinement reaches f64 accuracy on random HPL
+    /// systems.
+    #[test]
+    fn mixed_precision_converges(
+        n in 8usize..96,
+        seed in 0u64..1000,
+    ) {
+        let a = MatGen::new(seed).matrix::<f64>(n, n);
+        let b = MatGen::new(seed + 1).rhs::<f64>(n);
+        let Ok(res) = solve_mixed_precision(&a, &b, 16, 12) else {
+            return Ok(());
+        };
+        prop_assert!(res.residual.passed, "n={n}: {}", res.residual.scaled_residual);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any feasible hybrid configuration, the look-ahead ladder holds
+    /// and efficiency stays inside (0, 1).
+    #[test]
+    fn hybrid_lookahead_ladder_everywhere(
+        n_blocks in 40usize..120,
+        p in 1usize..3,
+        q in 1usize..3,
+        cards in 1usize..3,
+    ) {
+        let n = n_blocks * 1200;
+        let grid = ProcessGrid::new(p, q);
+        let mut cfg = HybridConfig::new(n, grid, cards);
+        cfg.host_mem_gib = 2048.0; // lift the memory gate for the sweep
+        let mut effs = Vec::new();
+        for la in [Lookahead::None, Lookahead::Basic, Lookahead::Pipelined] {
+            cfg.lookahead = la;
+            let r = simulate_cluster(&cfg, false);
+            let e = r.report.efficiency();
+            prop_assert!(e > 0.0 && e < 1.0, "eff {e}");
+            effs.push(e);
+        }
+        prop_assert!(effs[0] <= effs[1] + 1e-9, "basic >= none: {effs:?}");
+        prop_assert!(effs[1] <= effs[2] + 1e-9, "pipelined >= basic: {effs:?}");
+    }
+
+    /// The offload DES never exceeds aggregate peak, is deterministic,
+    /// and its card-busy accounting stays within the run time.
+    #[test]
+    fn offload_model_physical_invariants(
+        size in 5usize..80,
+        cards in 1usize..3,
+        host_cores in 0usize..13,
+        g in 1usize..9,
+    ) {
+        let n = size * 1000;
+        let model = OffloadModel::default();
+        let out = model.simulate_with_grid(n, n, cards, host_cores as f64, (g, g));
+        let peak = model.card.chip.full_peak_gflops(Precision::F64) * cards as f64
+            + model.host.cfg.peak_gflops();
+        prop_assert!(out.gflops > 0.0 && out.gflops < peak, "{} vs {peak}", out.gflops);
+        prop_assert!(out.card_busy_s <= out.time_s * cards as f64 + 1e-9);
+        prop_assert_eq!(out.card_tiles + out.host_tiles, g * g);
+        let again = model.simulate_with_grid(n, n, cards, host_cores as f64, (g, g));
+        prop_assert_eq!(out.time_s, again.time_s, "determinism");
+    }
+}
+
+#[test]
+fn hybrid_memory_gate_is_tight() {
+    // Just over the gate must panic; just under must run.
+    let grid = ProcessGrid::new(1, 1);
+    let over = HybridConfig::new(100_000, grid, 1); // 80 GB > 64 GB
+    assert!(std::panic::catch_unwind(|| simulate_cluster(&over, false)).is_err());
+    let under = HybridConfig::new(84_000, grid, 1); // 56 GB < 64 GB
+    let r = simulate_cluster(&under, false);
+    assert!(r.report.gflops > 0.0);
+}
+
+#[test]
+fn report_breakdown_consistency() {
+    // Traced native runs report breakdowns whose total is bounded by
+    // lanes × wall time.
+    let cfg = phi_hpl::native::NativeConfig::new(4096);
+    let (r, trace) = phi_hpl::native::model::simulate_dynamic_traced(&cfg, true);
+    let lane_count = trace.spans().iter().map(|s| s.lane).max().unwrap_or(0) as f64 + 1.0;
+    let busy: f64 = r.breakdown.iter().map(|(_, t)| t).sum();
+    assert!(busy <= lane_count * r.time_s * 1.001, "{busy} vs {}", lane_count * r.time_s);
+    let mat = MatGen::new(1).matrix::<f64>(8, 8);
+    let x = phi_blas::lu::lu_solve(&mat, &[1.0; 8], 4).unwrap();
+    assert!(hpl_residual(&mat.view(), &x, &[1.0; 8]).passed);
+    let _ = Matrix::<f64>::zeros(0, 0);
+}

@@ -1,0 +1,255 @@
+//! A small deterministic discrete-event simulation (DES) engine.
+//!
+//! The Linpack experiments in this workspace run at paper scale — up to
+//! N = 825,000 on a hundred simulated nodes — where holding the matrix is
+//! impossible (5.4 TB) and real threads would be pointless on the build
+//! machine. Instead, the *actual scheduling algorithms* (the DAG dynamic
+//! scheduler, the look-ahead pipelines, work stealing) execute over
+//! virtual time: every kernel invocation becomes a scheduled completion
+//! event whose duration comes from the calibrated machine models in
+//! `phi-knc` / `phi-xeon`.
+//!
+//! Design choices:
+//!
+//! * **Single-threaded, deterministic.** Events at equal timestamps fire
+//!   in schedule order (a monotone sequence number breaks ties), so every
+//!   simulation is exactly reproducible.
+//! * **Callback style.** An event is a `FnOnce(&mut Sim)`; shared
+//!   scheduler state lives in `Rc<RefCell<…>>` captured by the closures.
+//!   The scheduler data structures themselves (in `phi-sched`) are plain
+//!   and synchronous, so the same code drives both the DES backend and
+//!   the real-thread numeric backend.
+//! * **Mechanism-free resources.** [`Link`] models a serialized
+//!   bandwidth×latency channel (PCIe, InfiniBand); [`trace::Trace`]
+//!   records per-lane spans for the Gantt charts of Fig. 7 / Fig. 9.
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod shared;
+pub mod trace;
+
+pub use link::Link;
+pub use shared::SharedChannel;
+pub use trace::{to_chrome_json, Kind, Span, Trace};
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fires `at` simulated seconds, FIFO within a
+/// timestamp.
+struct Scheduled {
+    at: f64,
+    seq: u64,
+    cb: Box<dyn FnOnce(&mut Sim)>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first, with seq as FIFO tie-break.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation executive: virtual clock plus event queue.
+#[derive(Default)]
+pub struct Sim {
+    now: f64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    trace: Trace,
+    events_fired: u64,
+}
+
+impl Sim {
+    /// Fresh simulation at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
+    /// Schedules `cb` to fire `delay` seconds from now.
+    ///
+    /// # Panics
+    /// Panics on negative or NaN delays — an event cannot fire in the
+    /// past.
+    pub fn schedule<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: f64, cb: F) {
+        assert!(
+            delay >= 0.0 && delay.is_finite(),
+            "invalid event delay {delay}"
+        );
+        self.schedule_at(self.now + delay, cb);
+    }
+
+    /// Schedules `cb` at absolute time `at` (must not be in the past).
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: f64, cb: F) {
+        assert!(
+            at >= self.now && at.is_finite(),
+            "event at {at} is before now {}",
+            self.now
+        );
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            cb: Box::new(cb),
+        });
+    }
+
+    /// Runs until the event queue drains. Returns the final time.
+    pub fn run(&mut self) -> f64 {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.events_fired += 1;
+            (ev.cb)(self);
+        }
+        self.now
+    }
+
+    /// Runs until the queue drains or the next event lies beyond
+    /// `deadline`; later events stay queued.
+    pub fn run_until(&mut self, deadline: f64) -> f64 {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.events_fired += 1;
+            (ev.cb)(self);
+        }
+        self.now
+    }
+
+    /// The span trace collected so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (record spans / enable / clear).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for (delay, tag) in [(3.0, 'c'), (1.0, 'a'), (2.0, 'b')] {
+            let order = order.clone();
+            sim.schedule(delay, move |s| {
+                order.borrow_mut().push((tag, s.now()));
+            });
+        }
+        sim.run();
+        let got = order.borrow().clone();
+        assert_eq!(got, vec![('a', 1.0), ('b', 2.0), ('c', 3.0)]);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let order = Rc::new(RefCell::new(String::new()));
+        let mut sim = Sim::new();
+        for tag in ['x', 'y', 'z'] {
+            let order = order.clone();
+            sim.schedule(5.0, move |_| order.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), "xyz");
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut sim = Sim::new();
+        // A chain of 10 events, each 0.5s after its parent.
+        fn chain(sim: &mut Sim, hits: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            sim.schedule(0.5, move |s| {
+                *hits.borrow_mut() += 1;
+                chain(s, hits, left - 1);
+            });
+        }
+        chain(&mut sim, hits.clone(), 10);
+        let end = sim.run();
+        assert_eq!(*hits.borrow(), 10);
+        assert!((end - 5.0).abs() < 1e-12);
+        assert_eq!(sim.events_fired(), 10);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut sim = Sim::new();
+        for i in 1..=10 {
+            let hits = hits.clone();
+            sim.schedule(i as f64, move |_| *hits.borrow_mut() += 1);
+        }
+        sim.run_until(4.5);
+        assert_eq!(*hits.borrow(), 4);
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event delay")]
+    fn negative_delay_rejected() {
+        Sim::new().schedule(-1.0, |_| {});
+    }
+
+    #[test]
+    fn zero_delay_fires_after_current_timestamp_peers() {
+        let order = Rc::new(RefCell::new(String::new()));
+        let mut sim = Sim::new();
+        {
+            let order = order.clone();
+            sim.schedule(1.0, move |s| {
+                order.borrow_mut().push('a');
+                let o2 = order.clone();
+                s.schedule(0.0, move |_| o2.borrow_mut().push('b'));
+            });
+        }
+        {
+            let order = order.clone();
+            sim.schedule(1.0, move |_| order.borrow_mut().push('c'));
+        }
+        sim.run();
+        // 'c' was scheduled first at t=1; 'b' lands behind it (same time,
+        // later sequence number).
+        assert_eq!(*order.borrow(), "acb");
+    }
+}

@@ -1,0 +1,190 @@
+//! Fair-sharing channel: concurrent transfers split the bandwidth.
+//!
+//! [`crate::Link`] serializes transfers — correct for a DMA engine that
+//! processes one descriptor at a time. A PCIe link carrying *independent*
+//! DMA streams (e.g. two sockets pushing tiles to two cards through a
+//! shared root complex, or pack traffic competing with swap traffic —
+//! the contention behind the paper's "≈4 GB/s effective" footnote)
+//! behaves closer to **processor sharing**: `k` active transfers each
+//! progress at `bandwidth / k`.
+//!
+//! [`SharedChannel`] implements exact max-min processor sharing for equal
+//! weights: completion times are computed by event-stepping between
+//! transfer arrivals/departures.
+
+/// One in-flight transfer.
+#[derive(Clone, Copy, Debug)]
+struct Flow {
+    /// Remaining payload bytes.
+    remaining: f64,
+    /// Caller's identifier.
+    id: u64,
+}
+
+/// A processor-sharing channel.
+///
+/// Usage: [`SharedChannel::start`] transfers at their submit times (in
+/// any order of calls, but submit times must be non-decreasing), then
+/// [`SharedChannel::drain`] returns every completion time.
+#[derive(Clone, Debug)]
+pub struct SharedChannel {
+    bandwidth: f64,
+    now: f64,
+    active: Vec<Flow>,
+    completed: Vec<(u64, f64)>,
+}
+
+impl SharedChannel {
+    /// A channel with `bandwidth` bytes/second.
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0);
+        Self {
+            bandwidth,
+            now: 0.0,
+            active: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Advances the fluid model to absolute time `t`, retiring flows that
+    /// finish on the way.
+    fn advance_to(&mut self, t: f64) {
+        while !self.active.is_empty() && self.now < t {
+            let share = self.bandwidth / self.active.len() as f64;
+            // Earliest finisher under the current share.
+            let min_remaining = self
+                .active
+                .iter()
+                .map(|f| f.remaining)
+                .fold(f64::INFINITY, f64::min);
+            let finish_dt = min_remaining / share;
+            let step = finish_dt.min(t - self.now);
+            for f in &mut self.active {
+                f.remaining -= share * step;
+            }
+            self.now += step;
+            let now = self.now;
+            let completed = &mut self.completed;
+            self.active.retain(|f| {
+                if f.remaining <= 1e-9 {
+                    completed.push((f.id, now));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Begins a transfer of `bytes` with caller-chosen `id` at time `at`
+    /// (must be ≥ every earlier `at`).
+    pub fn start(&mut self, at: f64, id: u64, bytes: f64) {
+        assert!(at >= self.now - 1e-12, "submissions must be time-ordered");
+        assert!(bytes >= 0.0);
+        self.advance_to(at);
+        if bytes == 0.0 {
+            self.completed.push((id, at));
+        } else {
+            self.active.push(Flow {
+                remaining: bytes,
+                id,
+            });
+        }
+    }
+
+    /// Runs every remaining flow to completion and returns all
+    /// completions as `(id, finish_time)` sorted by time.
+    pub fn drain(mut self) -> Vec<(u64, f64)> {
+        while !self.active.is_empty() {
+            let horizon = self.now
+                + self
+                    .active
+                    .iter()
+                    .map(|f| f.remaining)
+                    .fold(0.0, f64::max)
+                    / (self.bandwidth / self.active.len() as f64)
+                + 1.0;
+            self.advance_to(horizon);
+        }
+        let mut done = self.completed;
+        done.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finish_of(done: &[(u64, f64)], id: u64) -> f64 {
+        done.iter().find(|(i, _)| *i == id).expect("completed").1
+    }
+
+    #[test]
+    fn lone_transfer_gets_full_bandwidth() {
+        let mut ch = SharedChannel::new(4e9);
+        ch.start(0.0, 1, 4e9);
+        let done = ch.drain();
+        assert!((finish_of(&done, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_simultaneous_transfers_halve_the_rate() {
+        let mut ch = SharedChannel::new(1e9);
+        ch.start(0.0, 1, 1e9);
+        ch.start(0.0, 2, 1e9);
+        let done = ch.drain();
+        // Each gets 0.5 GB/s → both finish at t = 2.
+        assert!((finish_of(&done, 1) - 2.0).abs() < 1e-9);
+        assert!((finish_of(&done, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_flow_finishes_first_and_releases_bandwidth() {
+        let mut ch = SharedChannel::new(1e9);
+        ch.start(0.0, 1, 2e9); // long
+        ch.start(0.0, 2, 0.5e9); // short
+        let done = ch.drain();
+        // Shared until the short one finishes at t=1 (0.5 GB at 0.5 GB/s);
+        // the long one then has 1.5 GB left at full rate → t = 2.5.
+        assert!((finish_of(&done, 2) - 1.0).abs() < 1e-9);
+        assert!((finish_of(&done, 1) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_shares_only_while_overlapping() {
+        let mut ch = SharedChannel::new(1e9);
+        ch.start(0.0, 1, 1e9);
+        ch.start(0.5, 2, 1e9);
+        let done = ch.drain();
+        // Flow 1: 0.5 GB alone (t=0.5), then shares: 0.5 GB left at
+        // 0.5 GB/s → t = 1.5. Flow 2: 0.5 GB shared (t=1.5), then 0.5 GB
+        // alone → t = 2.0.
+        assert!((finish_of(&done, 1) - 1.5).abs() < 1e-9);
+        assert!((finish_of(&done, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conserves_total_service() {
+        // Whatever the arrival pattern, the last completion equals total
+        // bytes / bandwidth when the channel never idles.
+        let mut ch = SharedChannel::new(2e9);
+        let sizes = [1e9, 3e9, 0.5e9, 2.5e9];
+        for (i, &s) in sizes.iter().enumerate() {
+            ch.start(0.1 * i as f64, i as u64, s);
+        }
+        let done = ch.drain();
+        let total: f64 = sizes.iter().sum();
+        let last = done.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        assert!((last - total / 2e9).abs() < 1e-9, "{last}");
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_instantly() {
+        let mut ch = SharedChannel::new(1e9);
+        ch.start(3.0, 7, 0.0);
+        let done = ch.drain();
+        assert_eq!(done, vec![(7, 3.0)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! The P × Q process grid of HPL.
+//!
+//! HPL distributes the matrix block-cyclically over a `P × Q` grid of
+//! processes: block row `i` belongs to process row `i mod P`, block
+//! column `j` to process column `j mod Q`. Table III identifies runs by
+//! their `P` and `Q` ("the number of used nodes can be derived by
+//! multiplying P and Q"); the 100-node run is a 10 × 10 grid.
+
+/// Position of a process in the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridCoord {
+    /// Row index in `0..P`.
+    pub p: usize,
+    /// Column index in `0..Q`.
+    pub q: usize,
+}
+
+/// A `P × Q` process grid with block-cyclic ownership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessGrid {
+    /// Process rows.
+    pub p: usize,
+    /// Process columns.
+    pub q: usize,
+}
+
+impl ProcessGrid {
+    /// Builds a grid; both dimensions must be positive.
+    pub fn new(p: usize, q: usize) -> Self {
+        assert!(p > 0 && q > 0, "degenerate grid {p}x{q}");
+        Self { p, q }
+    }
+
+    /// Number of processes.
+    pub fn size(&self) -> usize {
+        self.p * self.q
+    }
+
+    /// Linear rank of a coordinate (row-major).
+    pub fn rank(&self, c: GridCoord) -> usize {
+        debug_assert!(c.p < self.p && c.q < self.q);
+        c.p * self.q + c.q
+    }
+
+    /// Coordinate of a linear rank.
+    pub fn coord(&self, rank: usize) -> GridCoord {
+        debug_assert!(rank < self.size());
+        GridCoord {
+            p: rank / self.q,
+            q: rank % self.q,
+        }
+    }
+
+    /// Process column owning global block-column `j` (block-cyclic).
+    pub fn owner_col(&self, j: usize) -> usize {
+        j % self.q
+    }
+
+    /// Process row owning global block-row `i` (block-cyclic).
+    pub fn owner_row(&self, i: usize) -> usize {
+        i % self.p
+    }
+
+    /// Number of block-columns from a total of `nblocks` owned by process
+    /// column `q` (block-cyclic count).
+    pub fn blocks_owned_col(&self, q: usize, nblocks: usize) -> usize {
+        debug_assert!(q < self.q);
+        nblocks / self.q + usize::from(nblocks % self.q > q)
+    }
+
+    /// Number of block-rows from a total of `nblocks` owned by process
+    /// row `p`.
+    pub fn blocks_owned_row(&self, p: usize, nblocks: usize) -> usize {
+        debug_assert!(p < self.p);
+        nblocks / self.p + usize::from(nblocks % self.p > p)
+    }
+
+    /// Local trailing extent: of the global blocks `first..nblocks`, how
+    /// many does process row `p` own? Used to size each node's share of a
+    /// trailing update.
+    pub fn trailing_blocks_row(&self, p: usize, first: usize, nblocks: usize) -> usize {
+        (first..nblocks).filter(|&i| self.owner_row(i) == p).count()
+    }
+
+    /// Same along columns.
+    pub fn trailing_blocks_col(&self, q: usize, first: usize, nblocks: usize) -> usize {
+        (first..nblocks).filter(|&j| self.owner_col(j) == q).count()
+    }
+
+    /// Ring order of a process row starting after `root` — the increasing
+    /// ring HPL's panel broadcast walks.
+    pub fn row_ring(&self, root_q: usize) -> Vec<usize> {
+        (1..self.q).map(|i| (root_q + i) % self.q).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = ProcessGrid::new(3, 4);
+        assert_eq!(g.size(), 12);
+        for r in 0..12 {
+            assert_eq!(g.rank(g.coord(r)), r);
+        }
+    }
+
+    #[test]
+    fn block_cyclic_ownership() {
+        let g = ProcessGrid::new(2, 3);
+        assert_eq!(g.owner_col(0), 0);
+        assert_eq!(g.owner_col(4), 1);
+        assert_eq!(g.owner_row(5), 1);
+    }
+
+    #[test]
+    fn owned_counts_sum_to_total() {
+        let g = ProcessGrid::new(3, 4);
+        for nblocks in [0usize, 1, 7, 12, 100] {
+            let col_sum: usize = (0..4).map(|q| g.blocks_owned_col(q, nblocks)).sum();
+            assert_eq!(col_sum, nblocks);
+            let row_sum: usize = (0..3).map(|p| g.blocks_owned_row(p, nblocks)).sum();
+            assert_eq!(row_sum, nblocks);
+        }
+    }
+
+    #[test]
+    fn trailing_counts_match_filter() {
+        let g = ProcessGrid::new(2, 2);
+        // Blocks 3..10 → rows 3,5,7,9 odd → p=1 owns 4 of 7.
+        assert_eq!(g.trailing_blocks_row(1, 3, 10), 4);
+        assert_eq!(g.trailing_blocks_row(0, 3, 10), 3);
+        let total: usize = (0..2).map(|q| g.trailing_blocks_col(q, 3, 10)).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn ring_covers_all_other_columns() {
+        let g = ProcessGrid::new(1, 5);
+        let ring = g.row_ring(2);
+        assert_eq!(ring, vec![3, 4, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate grid")]
+    fn zero_dimension_rejected() {
+        ProcessGrid::new(0, 3);
+    }
+}

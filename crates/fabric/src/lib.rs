@@ -1,0 +1,25 @@
+//! Communication substrate for the hybrid and multi-node Linpack
+//! flavours.
+//!
+//! * [`pcie`] — the host ↔ coprocessor path: a serialized PCIe link with
+//!   the paper's effective-bandwidth distinction (6 GB/s nominal, ≈4 GB/s
+//!   when DMA competes with swapping and host DGEMM for memory bandwidth
+//!   — footnote 4), plus the memory-mapped request/response queues of
+//!   Fig. 10b through which the host enqueues offload-DGEMM work and the
+//!   card polls for it.
+//! * [`grid`] — the P × Q process grid of HPL: coordinate algebra,
+//!   block-cyclic ownership, and ring orderings for broadcasts.
+//! * [`net`] — the FDR InfiniBand model and analytic times for the two
+//!   collectives hybrid HPL exposes on its critical path: the panel
+//!   broadcast along a process row and the `U`/swap exchange along a
+//!   process column (Section V-A's "U broadcast" and "row swapping").
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod net;
+pub mod pcie;
+
+pub use grid::{GridCoord, ProcessGrid};
+pub use net::NetModel;
+pub use pcie::{MmQueue, PcieConfig, PcieLink};

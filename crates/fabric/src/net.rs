@@ -1,0 +1,127 @@
+//! Inter-node network model: single-rail FDR InfiniBand.
+//!
+//! The cluster results (Table III, Fig. 9) run on "a single rail FDR
+//! Infiniband network": ≈6.8 GB/s per direction sustained, ~1 µs MPI
+//! latency. The hybrid HPL critical path sees the network through two
+//! operations, both given analytic postal-model times here:
+//!
+//! * **panel broadcast** along a process row (the factored panel of
+//!   `m × NB` doubles travels an increasing ring, pipelined);
+//! * **swap + U broadcast** along a process column (partial rows are
+//!   exchanged and the `NB × cols` U panel is spread — HPL's
+//!   "spread-roll" long swap).
+//!
+//! These enter the per-stage simulation as durations, and the pipelined
+//! look-ahead scheme (Fig. 8c) splits them into column strips.
+
+/// Analytic network model.
+#[derive(Clone, Copy, Debug)]
+pub struct NetModel {
+    /// Per-direction link bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+impl Default for NetModel {
+    /// FDR InfiniBand 4x: 56 Gb/s signalling → ≈6.8 GB/s effective
+    /// unidirectional; ~1.5 µs end-to-end MPI latency.
+    fn default() -> Self {
+        Self {
+            bandwidth: 6.8e9,
+            latency: 1.5e-6,
+        }
+    }
+}
+
+impl NetModel {
+    /// Point-to-point message time (postal model).
+    pub fn p2p(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+
+    /// Pipelined increasing-ring broadcast of `bytes` to `q - 1` peers:
+    /// the message is chunked, so completion at the last peer is one full
+    /// transmission plus per-hop pipeline fill. For `q = 1` this is free.
+    pub fn ring_bcast(&self, bytes: f64, q: usize) -> f64 {
+        if q <= 1 {
+            return 0.0;
+        }
+        let hops = (q - 1) as f64;
+        // One full message transmission + per-hop latency + a residual
+        // chunk per extra hop (chunking at 1/8 of the message).
+        self.latency * hops + bytes / self.bandwidth * (1.0 + 0.125 * (hops - 1.0).max(0.0))
+    }
+
+    /// HPL long-swap ("spread-roll") of an `NB`-deep row window `cols`
+    /// wide over `p` process rows: every process sends/receives ≈
+    /// `(p-1)/p` of its share twice (spread + roll), with `log2(p)`-ish
+    /// latency stages.
+    pub fn long_swap(&self, nb: usize, cols: usize, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let bytes = 8.0 * nb as f64 * cols as f64;
+        let share = bytes / p as f64;
+        let stages = (p as f64).log2().ceil().max(1.0);
+        2.0 * share * (p - 1) as f64 / p as f64 * p as f64 / self.bandwidth / p as f64
+            + 2.0 * share / self.bandwidth
+            + stages * self.latency
+    }
+
+    /// Broadcast of the solved `U` panel (`nb × cols` doubles) down a
+    /// process column of `p` nodes.
+    pub fn u_bcast(&self, nb: usize, cols: usize, p: usize) -> f64 {
+        self.ring_bcast(8.0 * nb as f64 * cols as f64, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_postal_model() {
+        let n = NetModel::default();
+        let t = n.p2p(6.8e9);
+        assert!((t - (1.0 + 1.5e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bcast_degenerate_cases() {
+        let n = NetModel::default();
+        assert_eq!(n.ring_bcast(1e9, 1), 0.0);
+        // Two processes: a single hop ≈ p2p.
+        let two = n.ring_bcast(1e6, 2);
+        assert!((two - n.p2p(1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bcast_grows_slowly_with_q() {
+        // Pipelining keeps the ring broadcast well under q × p2p.
+        let n = NetModel::default();
+        let one = n.p2p(1e8);
+        let ten = n.ring_bcast(1e8, 10);
+        assert!(ten > one);
+        assert!(ten < 3.0 * one, "pipelined: {ten} vs naive {}", 9.0 * one);
+    }
+
+    #[test]
+    fn long_swap_scales_with_volume() {
+        let n = NetModel::default();
+        let small = n.long_swap(1200, 10_000, 4);
+        let large = n.long_swap(1200, 40_000, 4);
+        assert!(large > 3.0 * small);
+        assert_eq!(n.long_swap(1200, 40_000, 1), 0.0);
+    }
+
+    #[test]
+    fn swap_volume_sane_for_84k_case() {
+        // Fig. 9's 2×2 grid at N = 84K, NB = 1200: per-column share is
+        // 42K columns; the swap should take tens of milliseconds — the
+        // "13% of iteration time" scale of exposed swap the paper reports.
+        let n = NetModel::default();
+        let t = n.long_swap(1200, 42_000, 2);
+        assert!((0.01..0.3).contains(&t), "swap time {t}");
+    }
+}

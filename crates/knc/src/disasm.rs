@@ -1,0 +1,214 @@
+//! Disassembly and static validation of kernel programs.
+//!
+//! [`disassemble`] renders a [`Program`] in an Intel-ish syntax close to
+//! the listings of Fig. 2b/2c, so the kernel regenerators can print what
+//! the paper printed. [`validate`] statically checks a program against
+//! the machine constraints (register indices, lane selectors, address
+//! sanity) before it reaches the emulator.
+
+use crate::isa::{Addr, BcastMode, Instr, Operand, Program, StreamId, NUM_VREGS};
+
+fn stream_name(s: StreamId) -> &'static str {
+    match s {
+        StreamId::A => "rA",
+        StreamId::B => "rB",
+        StreamId::C => "rC",
+    }
+}
+
+fn addr_str(a: &Addr) -> String {
+    let mut s = format!("[{}", stream_name(a.stream));
+    if a.scale_iter != 0 {
+        s.push_str(&format!(" + i*{}", a.scale_iter));
+    }
+    if a.scale_thread != 0 {
+        s.push_str(&format!(" + t*{}", a.scale_thread));
+    }
+    if a.offset != 0 {
+        s.push_str(&format!(" + {}", a.offset));
+    }
+    s.push(']');
+    s
+}
+
+fn operand_str(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("v{r}"),
+        Operand::Mem(a) => addr_str(a),
+        Operand::MemBcast(a, BcastMode::OneToEight) => format!("{}{{1to8}}", addr_str(a)),
+        Operand::MemBcast(a, BcastMode::FourToEight) => format!("{}{{4to8}}", addr_str(a)),
+        Operand::Swizzle(r, i) => format!("v{r}{{dddd}}[{i}]"),
+    }
+}
+
+/// Renders one instruction.
+pub fn instr_str(i: &Instr) -> String {
+    match i {
+        Instr::Fmadd { acc, src, b } => {
+            format!("vfmadd231pd v{acc}, v{b}, {}", operand_str(src))
+        }
+        Instr::Load { dst, addr } => format!("vmovapd v{dst}, {}", addr_str(addr)),
+        Instr::Store { src, addr } => format!("vmovapd {}, v{src}", addr_str(addr)),
+        Instr::Broadcast {
+            dst,
+            addr,
+            mode: BcastMode::OneToEight,
+        } => format!("vbroadcastsd v{dst}, {}", addr_str(addr)),
+        Instr::Broadcast {
+            dst,
+            addr,
+            mode: BcastMode::FourToEight,
+        } => format!("vbroadcastf64x4 v{dst}, {}", addr_str(addr)),
+        Instr::Add { dst, src } => format!("vaddpd v{dst}, v{dst}, {}", operand_str(src)),
+        Instr::Mul { dst, src } => format!("vmulpd v{dst}, v{dst}, {}", operand_str(src)),
+        Instr::PrefetchL1(a) => format!("vprefetch0 {}", addr_str(a)),
+        Instr::PrefetchL2(a) => format!("vprefetch1 {}", addr_str(a)),
+        Instr::ScalarOp => "add r13, 1".to_string(),
+    }
+}
+
+/// Renders a whole program with issue-slot annotations: `U` for vector
+/// (U-pipe) instructions, `V` for co-issuable prefetch/scalar ones.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (idx, i) in p.body.iter().enumerate() {
+        let pipe = if i.is_vector() { 'U' } else { 'V' };
+        out.push_str(&format!("{idx:>3} {pipe}  {}\n", instr_str(i)));
+    }
+    out
+}
+
+/// A static program defect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Register index ≥ 32.
+    BadRegister {
+        /// Offending instruction index.
+        at: usize,
+        /// Register number.
+        reg: u8,
+    },
+    /// Swizzle lane selector ≥ 4 (Fig. 1b: lanes are 4-wide).
+    BadSwizzleLane {
+        /// Offending instruction index.
+        at: usize,
+        /// Lane selector.
+        lane: u8,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::BadRegister { at, reg } => {
+                write!(f, "instruction {at}: register v{reg} out of range")
+            }
+            ValidationError::BadSwizzleLane { at, lane } => {
+                write!(f, "instruction {at}: swizzle lane {lane} out of range")
+            }
+        }
+    }
+}
+
+fn check_reg(at: usize, r: u8, errs: &mut Vec<ValidationError>) {
+    if r as usize >= NUM_VREGS {
+        errs.push(ValidationError::BadRegister { at, reg: r });
+    }
+}
+
+fn check_operand(at: usize, op: &Operand, errs: &mut Vec<ValidationError>) {
+    match op {
+        Operand::Reg(r) => check_reg(at, *r, errs),
+        Operand::Swizzle(r, lane) => {
+            check_reg(at, *r, errs);
+            if *lane >= 4 {
+                errs.push(ValidationError::BadSwizzleLane { at, lane: *lane });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checks every instruction against the machine constraints. Returns all
+/// defects found (empty = valid).
+pub fn validate(p: &Program) -> Vec<ValidationError> {
+    let mut errs = Vec::new();
+    for (at, i) in p.body.iter().enumerate() {
+        match i {
+            Instr::Fmadd { acc, src, b } => {
+                check_reg(at, *acc, &mut errs);
+                check_reg(at, *b, &mut errs);
+                check_operand(at, src, &mut errs);
+            }
+            Instr::Load { dst, .. } | Instr::Broadcast { dst, .. } => check_reg(at, *dst, &mut errs),
+            Instr::Store { src, .. } => check_reg(at, *src, &mut errs),
+            Instr::Add { dst, src } | Instr::Mul { dst, src } => {
+                check_reg(at, *dst, &mut errs);
+                check_operand(at, src, &mut errs);
+            }
+            Instr::PrefetchL1(_) | Instr::PrefetchL2(_) | Instr::ScalarOp => {}
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::build_basic_kernel;
+    use phi_blas::gemm::MicroKernelKind;
+
+    #[test]
+    fn kernels_disassemble_like_the_paper() {
+        let (k2, epi) = build_basic_kernel(MicroKernelKind::Kernel2);
+        let text = disassemble(&k2);
+        // The salient features of Fig. 2c appear:
+        assert!(text.contains("vbroadcastf64x4"), "4to8 broadcast:\n{text}");
+        assert!(text.contains("{dddd}[0]"), "swizzled FMA:\n{text}");
+        assert!(text.contains("{1to8}"), "memory-broadcast FMAs:\n{text}");
+        assert!(text.contains("vprefetch0"), "L1 prefetch:\n{text}");
+        assert!(text.contains("vprefetch1"), "L2 prefetch:\n{text}");
+        // Dual-issue annotation: both pipes present.
+        assert!(text.contains(" U  ") && text.contains(" V  "));
+        // The epilogue stores the accumulators.
+        let etext = disassemble(&epi);
+        assert!(etext.contains("vmovapd [rC"), "C update:\n{etext}");
+    }
+
+    #[test]
+    fn kernel1_shows_only_memory_broadcasts() {
+        let (k1, _) = build_basic_kernel(MicroKernelKind::Kernel1);
+        let text = disassemble(&k1);
+        assert!(!text.contains("{dddd}"), "Kernel 1 has no swizzles");
+        assert_eq!(text.matches("{1to8}").count(), 31);
+    }
+
+    #[test]
+    fn built_kernels_validate_clean() {
+        for kind in [MicroKernelKind::Kernel1, MicroKernelKind::Kernel2] {
+            let (body, epi) = build_basic_kernel(kind);
+            assert!(validate(&body).is_empty());
+            assert!(validate(&epi).is_empty());
+        }
+    }
+
+    #[test]
+    fn validator_catches_defects() {
+        use crate::isa::{Addr, StreamId};
+        let mut p = Program::new();
+        p.push(Instr::Fmadd {
+            acc: 40, // out of range
+            src: Operand::Swizzle(2, 7),
+            b: 1,
+        });
+        p.push(Instr::Load {
+            dst: 33,
+            addr: Addr::new(StreamId::A, 0, 0),
+        });
+        let errs = validate(&p);
+        assert_eq!(errs.len(), 3);
+        assert!(matches!(errs[0], ValidationError::BadRegister { at: 0, reg: 40 }));
+        assert!(matches!(errs[1], ValidationError::BadSwizzleLane { at: 0, lane: 7 }));
+        assert!(errs[2].to_string().contains("v33"));
+    }
+}

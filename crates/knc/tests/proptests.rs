@@ -1,0 +1,217 @@
+//! Property tests for the KNC substrate.
+//!
+//! The heavy hammer: generate random straight-line vector programs and
+//! check that the cycle-level emulator computes exactly what a plain
+//! functional interpreter computes — the timing machinery (ports, fills,
+//! stalls, SMT interleaving) must never change the arithmetic. Plus
+//! cache-model invariants and timing sanity bounds.
+
+use phi_knc::emu::{CoreSim, StreamBases};
+use phi_knc::isa::{broadcast, swizzle, Addr, BcastMode, Instr, Operand, Program, StreamId, VLEN};
+use phi_knc::PipelineConfig;
+use proptest::prelude::*;
+
+const MEM_ELEMS: usize = 512;
+
+/// Strategy for a random (aligned, in-bounds) address within stream A.
+/// All programs use only stream A with base 0 and iterate at stride 8,
+/// so `iter * 8 + offset` must stay inside memory for every iteration.
+fn addr_strategy(iters: usize) -> impl Strategy<Value = Addr> {
+    let max_off = MEM_ELEMS - VLEN - (iters - 1) * 8;
+    (0..max_off / 8).prop_map(|o| Addr::new(StreamId::A, 8, o * 8))
+}
+
+fn operand_strategy(iters: usize) -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..30).prop_map(Operand::Reg),
+        addr_strategy(iters).prop_map(Operand::Mem),
+        addr_strategy(iters).prop_map(|a| Operand::MemBcast(a, BcastMode::OneToEight)),
+        addr_strategy(iters).prop_map(|a| Operand::MemBcast(a, BcastMode::FourToEight)),
+        ((0u8..30), (0u8..4)).prop_map(|(r, i)| Operand::Swizzle(r, i)),
+    ]
+}
+
+fn instr_strategy(iters: usize) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        ((0u8..30), operand_strategy(iters), (0u8..30))
+            .prop_map(|(acc, src, b)| Instr::Fmadd { acc, src, b }),
+        ((0u8..30), addr_strategy(iters)).prop_map(|(dst, addr)| Instr::Load { dst, addr }),
+        ((0u8..30), addr_strategy(iters)).prop_map(|(src, addr)| Instr::Store { src, addr }),
+        ((0u8..30), addr_strategy(iters)).prop_map(|(dst, addr)| Instr::Broadcast {
+            dst,
+            addr,
+            mode: BcastMode::OneToEight,
+        }),
+        ((0u8..30), operand_strategy(iters)).prop_map(|(dst, src)| Instr::Add { dst, src }),
+        ((0u8..30), operand_strategy(iters)).prop_map(|(dst, src)| Instr::Mul { dst, src }),
+        addr_strategy(iters).prop_map(Instr::PrefetchL1),
+        addr_strategy(iters).prop_map(Instr::PrefetchL2),
+        Just(Instr::ScalarOp),
+    ]
+}
+
+/// Plain functional interpreter: single thread, no timing.
+fn reference_run(body: &[Instr], iters: usize, mem: &mut [f64]) {
+    let mut regs = [[0.0f64; VLEN]; 32];
+    let read_op = |op: &Operand, iter: usize, regs: &[[f64; VLEN]; 32], mem: &[f64]| -> [f64; VLEN] {
+        match op {
+            Operand::Reg(r) => regs[*r as usize],
+            Operand::Swizzle(r, i) => swizzle(&regs[*r as usize], *i),
+            Operand::Mem(a) => {
+                let idx = a.resolve(iter, 0, 0);
+                let mut v = [0.0; VLEN];
+                v.copy_from_slice(&mem[idx..idx + VLEN]);
+                v
+            }
+            Operand::MemBcast(a, mode) => broadcast(mem, a.resolve(iter, 0, 0), *mode),
+        }
+    };
+    for iter in 0..iters {
+        for instr in body {
+            match *instr {
+                Instr::Fmadd { acc, src, b } => {
+                    let sv = read_op(&src, iter, &regs, mem);
+                    let bv = regs[b as usize];
+                    for l in 0..VLEN {
+                        regs[acc as usize][l] = sv[l].mul_add(bv[l], regs[acc as usize][l]);
+                    }
+                }
+                Instr::Load { dst, addr } => {
+                    let idx = addr.resolve(iter, 0, 0);
+                    regs[dst as usize].copy_from_slice(&mem[idx..idx + VLEN]);
+                }
+                Instr::Store { src, addr } => {
+                    let idx = addr.resolve(iter, 0, 0);
+                    mem[idx..idx + VLEN].copy_from_slice(&regs[src as usize]);
+                }
+                Instr::Broadcast { dst, addr, mode } => {
+                    regs[dst as usize] = broadcast(mem, addr.resolve(iter, 0, 0), mode);
+                }
+                Instr::Add { dst, src } => {
+                    let sv = read_op(&src, iter, &regs, mem);
+                    for l in 0..VLEN {
+                        regs[dst as usize][l] += sv[l];
+                    }
+                }
+                Instr::Mul { dst, src } => {
+                    let sv = read_op(&src, iter, &regs, mem);
+                    for l in 0..VLEN {
+                        regs[dst as usize][l] *= sv[l];
+                    }
+                }
+                Instr::PrefetchL1(_) | Instr::PrefetchL2(_) | Instr::ScalarOp => {}
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cycle-level emulator and the functional interpreter agree
+    /// bit-for-bit on final memory, for any single-threaded program.
+    #[test]
+    fn emulator_matches_reference(
+        iters in 1usize..8,
+        seed in 0u64..10_000,
+        prog in prop::collection::vec(instr_strategy(8), 1..24),
+    ) {
+        let mut rng = phi_matrix::HplRng::new(seed);
+        let init: Vec<f64> = (0..MEM_ELEMS).map(|_| rng.next_value()).collect();
+
+        let mut sim = CoreSim::new(PipelineConfig::default(), init.clone());
+        let body = Program { body: prog.clone() };
+        sim.run(&body, &Program::new(), iters, &[StreamBases::default()]);
+
+        let mut expect = init;
+        reference_run(&prog, iters, &mut expect);
+
+        prop_assert_eq!(sim.mem(), &expect[..], "memory diverged");
+    }
+
+    /// Timing sanity: cycles are at least the number of vector
+    /// instructions issued (one U-pipe per cycle) and at most a generous
+    /// bound including stalls.
+    #[test]
+    fn cycle_bounds_hold(
+        iters in 1usize..8,
+        prog in prop::collection::vec(instr_strategy(8), 1..24),
+    ) {
+        let body = Program { body: prog };
+        let vec_count = body.vector_count() as u64;
+        let total_instrs = body.body.len() as u64;
+        let mut sim = CoreSim::new(PipelineConfig::default(), vec![0.0; MEM_ELEMS]);
+        let cycles = sim.run(&body, &Program::new(), iters, &[StreamBases::default()]);
+        let it = iters as u64;
+        // One thread on a 4-way SMT core issues at most every cycle (it
+        // is the only ready thread) but at least one instruction slot per
+        // 1 cycle; stalls are bounded by every access missing to memory.
+        prop_assert!(cycles >= vec_count * it, "{cycles} < {vec_count}*{it}");
+        let worst = (total_instrs * it + 1) * (2 * 230 + 8);
+        prop_assert!(cycles <= worst, "{cycles} > {worst}");
+    }
+
+    /// With four threads running the same program, every thread's FMA
+    /// count is included (4x the single-thread count) and the cycle count
+    /// at most ~doubles relative to one thread (the pipe was 1/4 utilized
+    /// before).
+    #[test]
+    fn smt_scales_throughput(
+        prog in prop::collection::vec(instr_strategy(4), 4..16),
+    ) {
+        let body = Program { body: prog };
+        let iters = 4;
+        let mut one = CoreSim::new(PipelineConfig::default(), vec![0.0; MEM_ELEMS]);
+        let c1 = one.run(&body, &Program::new(), iters, &[StreamBases::default()]);
+        let f1 = one.stats().fmadds;
+
+        let mut four = CoreSim::new(PipelineConfig::default(), vec![0.0; MEM_ELEMS]);
+        let threads = [StreamBases::default(); 4];
+        let c4 = four.run(&body, &Program::new(), iters, &threads);
+        let f4 = four.stats().fmadds;
+
+        prop_assert_eq!(f4, 4 * f1);
+        // Four threads share one pipe: never faster than one thread's
+        // wall-clock divided by... (they can't be faster than the work)
+        // and never worse than 4x plus stall noise.
+        prop_assert!(c4 >= c1, "more work cannot take fewer cycles: {c4} vs {c1}");
+        prop_assert!(c4 <= 4 * c1 + 2000, "c4={c4} c1={c1}");
+    }
+}
+
+mod cache_props {
+    use super::*;
+    use phi_knc::cache::{Cache, CacheConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Immediately re-accessing any address hits; the hit/miss
+        /// counters account for every access.
+        #[test]
+        fn rehit_and_accounting(accesses in prop::collection::vec(0usize..100_000, 1..200)) {
+            let mut c = Cache::new(CacheConfig::knc_l1());
+            let mut total = 0u64;
+            for &a in &accesses {
+                c.access(a);
+                prop_assert!(c.access(a), "immediate re-access must hit");
+                total += 2;
+            }
+            let (h, m) = c.stats();
+            prop_assert_eq!(h + m, total);
+            prop_assert!(m as usize <= accesses.len());
+        }
+
+        /// A working set no larger than one set's associativity never
+        /// thrashes: after a warm pass, everything hits.
+        #[test]
+        fn small_working_set_stays_resident(lines in prop::collection::hash_set(0usize..8, 1..8)) {
+            let mut c = Cache::new(CacheConfig::knc_l1());
+            let addrs: Vec<usize> = lines.iter().map(|&l| l * 64 * 64).collect(); // same set
+            for &a in &addrs { c.access(a); }
+            for &a in &addrs {
+                prop_assert!(c.contains(a), "addr {a} evicted from its set");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense matrix substrate for the `phi-hpl` Linpack reproduction.
+//!
+//! This crate provides the storage layer shared by every other crate in the
+//! workspace:
+//!
+//! * [`Matrix`] — an owned, row-major, 64-byte-aligned dense matrix with an
+//!   explicit leading dimension, mirroring the buffers HPL operates on.
+//! * [`MatrixView`] / [`MatrixViewMut`] — borrowed rectangular windows with
+//!   the splitting operations LU factorization needs (panel / trailing
+//!   sub-matrix decompositions).
+//! * [`gen`] — the HPL-style pseudo-random matrix generator used to build
+//!   reproducible right-hand sides and coefficient matrices.
+//! * [`norms`] / [`residual`] — the ∞/1/Frobenius norms and the scaled
+//!   residual acceptance test from the HPL benchmark driver.
+//!
+//! The matrices here are deliberately plain: all the architecture-specific
+//! packing (Knights Corner tile formats, Fig. 3 of the paper) lives in
+//! `phi-blas`, which consumes these types.
+
+#![warn(missing_docs)]
+
+pub mod aligned;
+pub mod dense;
+pub mod gen;
+pub mod norms;
+pub mod residual;
+pub mod scalar;
+pub mod view;
+
+pub use aligned::AlignedBuf;
+pub use dense::Matrix;
+pub use gen::{HplRng, MatGen};
+pub use residual::{hpl_residual, solve_quality, ResidualReport};
+pub use scalar::Scalar;
+pub use view::{MatrixView, MatrixViewMut};

@@ -1,0 +1,154 @@
+//! The HPL solution-acceptance test.
+//!
+//! After solving `Ax = b`, HPL accepts the run when the scaled residual
+//!
+//! ```text
+//! ||Ax - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * N) < threshold
+//! ```
+//!
+//! with `threshold = 16`. Every Linpack flavour in this workspace — native,
+//! hybrid, multi-node — funnels its numeric-backend solution through this
+//! check, exactly as the benchmark rules require.
+
+use crate::norms::{mat_norm_inf, vec_norm_inf};
+use crate::scalar::Scalar;
+use crate::view::MatrixView;
+
+/// HPL's acceptance threshold for the scaled residual.
+pub const HPL_THRESHOLD: f64 = 16.0;
+
+/// Outcome of the residual check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResidualReport {
+    /// `||Ax - b||_inf`
+    pub raw_residual: f64,
+    /// The scaled residual tested against [`HPL_THRESHOLD`].
+    pub scaled_residual: f64,
+    /// Whether the run passes HPL's criterion.
+    pub passed: bool,
+}
+
+/// Computes `y = A x` without depending on `phi-blas` (which sits above
+/// this crate).
+fn matvec<T: Scalar>(a: &MatrixView<'_, T>, x: &[T]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len());
+    (0..a.rows())
+        .map(|i| {
+            a.row(i)
+                .iter()
+                .zip(x)
+                .map(|(aij, xj)| aij.to_f64() * xj.to_f64())
+                .sum()
+        })
+        .collect()
+}
+
+/// Evaluates the HPL scaled residual for a computed solution `x` of
+/// `A x = b`, where `a` is the **original** (unfactored) matrix.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn hpl_residual<T: Scalar>(a: &MatrixView<'_, T>, x: &[T], b: &[T]) -> ResidualReport {
+    assert_eq!(a.rows(), a.cols(), "residual requires a square system");
+    assert_eq!(a.rows(), b.len());
+    let n = a.rows();
+    if n == 0 {
+        return ResidualReport {
+            raw_residual: 0.0,
+            scaled_residual: 0.0,
+            passed: true,
+        };
+    }
+    let ax = matvec(a, x);
+    let raw = ax
+        .iter()
+        .zip(b)
+        .map(|(axi, bi)| (axi - bi.to_f64()).abs())
+        .fold(0.0, f64::max);
+    let denom = T::EPSILON.to_f64()
+        * (mat_norm_inf(a) * vec_norm_inf(x) + vec_norm_inf(b))
+        * n as f64;
+    let scaled = if denom == 0.0 {
+        if raw == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        raw / denom
+    };
+    ResidualReport {
+        raw_residual: raw,
+        scaled_residual: scaled,
+        passed: scaled < HPL_THRESHOLD,
+    }
+}
+
+/// Convenience wrapper that also reports the achieved forward error when the
+/// true solution is known (tests only; HPL itself never knows `x_true`).
+pub fn solve_quality<T: Scalar>(
+    a: &MatrixView<'_, T>,
+    x: &[T],
+    b: &[T],
+    x_true: Option<&[T]>,
+) -> (ResidualReport, Option<f64>) {
+    let report = hpl_residual(a, x, b);
+    let fwd = x_true.map(|xt| {
+        x.iter()
+            .zip(xt)
+            .map(|(xi, ti)| (xi.to_f64() - ti.to_f64()).abs())
+            .fold(0.0, f64::max)
+    });
+    (report, fwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatGen, Matrix};
+
+    #[test]
+    fn exact_solution_passes_with_zero_residual() {
+        let a = Matrix::<f64>::identity(8);
+        let b: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let report = hpl_residual(&a.view(), &b, &b);
+        assert_eq!(report.raw_residual, 0.0);
+        assert!(report.passed);
+    }
+
+    #[test]
+    fn garbage_solution_fails() {
+        let a = MatGen::new(1).matrix_dd::<f64>(16);
+        let b = MatGen::new(2).rhs::<f64>(16);
+        let x = vec![1.0e6; 16];
+        let report = hpl_residual(&a.view(), &x, &b);
+        assert!(!report.passed);
+        assert!(report.scaled_residual > HPL_THRESHOLD);
+    }
+
+    #[test]
+    fn small_perturbation_still_passes() {
+        // x solves I x = b exactly; perturb by a few ulps.
+        let a = Matrix::<f64>::identity(32);
+        let b: Vec<f64> = (0..32).map(|i| 1.0 + i as f64 / 7.0).collect();
+        let x: Vec<f64> = b.iter().map(|v| v * (1.0 + 4.0 * f64::EPSILON)).collect();
+        let report = hpl_residual(&a.view(), &x, &b);
+        assert!(report.passed, "scaled = {}", report.scaled_residual);
+    }
+
+    #[test]
+    fn zero_sized_system_passes() {
+        let a = Matrix::<f64>::zeros(0, 0);
+        let report = hpl_residual(&a.view(), &[], &[]);
+        assert!(report.passed);
+    }
+
+    #[test]
+    fn forward_error_reported() {
+        let a = Matrix::<f64>::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![1.0, 2.0, 3.0, 4.5];
+        let (_, fwd) = solve_quality(&a.view(), &x, &b, Some(&b));
+        assert_eq!(fwd, Some(0.5));
+    }
+}

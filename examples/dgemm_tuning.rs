@@ -1,0 +1,83 @@
+//! DGEMM tuning walkthrough: reproduces the Section III analysis — the
+//! Fig. 2 kernel duel on the cycle-level emulator, the L2 blocking
+//! inequality, and the Table II `k` sweep — then cross-checks the packed
+//! kernels numerically against the naive oracle.
+//!
+//! Run with: `cargo run --release --example dgemm_tuning`
+
+use linpack_phi::blas::gemm::{gemm_naive, gemm_with, BlockSizes, MicroKernelKind};
+use linpack_phi::knc::{run_tile_product, GemmModel, PipelineConfig, Precision};
+use linpack_phi::matrix::{HplRng, MatGen, Matrix};
+
+fn main() {
+    println!("== Basic Kernel 1 vs Basic Kernel 2 (emulated, k = 300) ==\n");
+    for kind in [MicroKernelKind::Kernel1, MicroKernelKind::Kernel2] {
+        let mr = linpack_phi::knc::kernels::kernel_mr(kind);
+        let depth = 300;
+        let mut rng = HplRng::new(1);
+        let a: Vec<f64> = (0..mr * depth).map(|_| rng.next_value()).collect();
+        let bs = std::array::from_fn(|_| (0..depth * 8).map(|_| rng.next_value()).collect());
+        let rep = run_tile_product(kind, depth, &a, &bs, PipelineConfig::default());
+        println!(
+            "{kind:?}: theoretical {:.1}% -> achieved {:.1}%  \
+             (fill stalls: {}, fills landing in holes: {})",
+            100.0 * rep.theoretical_efficiency,
+            100.0 * rep.steady_efficiency,
+            rep.stats.fill_stall_cycles,
+            rep.stats.fills_in_holes
+        );
+    }
+    println!(
+        "\nKernel 1 has more FMAs per slot on paper, but its memory-broadcast\n\
+         FMAs hold the L1 read port every cycle, so prefetch fills stall the\n\
+         pipe; Kernel 2's swizzle holes absorb them (Section III-A2).\n"
+    );
+
+    println!("== Cache blocking (Section III-A1) ==\n");
+    let knc = BlockSizes::knc();
+    println!(
+        "KNC blocking m={}, n={}, k={}: footprint {} KB of 512 KB L2, \
+         bandwidth bound {:.2} B/cycle/core (amortized {:.2})",
+        knc.mc,
+        knc.nc,
+        knc.kc,
+        knc.footprint_bytes(8) / 1024,
+        knc.bandwidth_bytes_per_cycle(),
+        knc.bandwidth_bytes_per_cycle_amortized()
+    );
+
+    println!("\n== Table II: efficiency vs k (model) ==\n");
+    let model = GemmModel::default();
+    println!("{:>5} {:>9} {:>9}", "k", "DGEMM", "SGEMM");
+    for k in [120, 180, 240, 300, 340, 400] {
+        println!(
+            "{:>5} {:>8.1}% {:>8.1}%",
+            k,
+            100.0 * model.efficiency_vs_k(k, Precision::F64),
+            100.0 * model.efficiency_vs_k(k, Precision::F32),
+        );
+    }
+    println!(
+        "\nBest DGEMM k = 300 -> {:.0} GFLOPS (paper: 944)\n",
+        model.gflops_vs_k(300, Precision::F64)
+    );
+
+    println!("== Numerical cross-check of the packed kernels ==\n");
+    let (m, n, k) = (123, 77, 45);
+    let a = MatGen::new(5).matrix::<f64>(m, k);
+    let b = MatGen::new(6).matrix::<f64>(k, n);
+    let mut c_ref = Matrix::<f64>::zeros(m, n);
+    gemm_naive(1.0, &a.view(), &b.view(), 0.0, &mut c_ref.view_mut());
+    for (label, bs) in [
+        ("host 8x8", BlockSizes::default()),
+        ("KNC 30x8 (Kernel 2)", BlockSizes::knc()),
+        ("KNC 31x8 (Kernel 1)", BlockSizes::knc_kernel1()),
+    ] {
+        let mut c = Matrix::<f64>::zeros(m, n);
+        gemm_with(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &bs);
+        println!(
+            "{label:>22}: max |diff| vs naive = {:.3e}",
+            c.max_abs_diff(&c_ref)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Distributed-memory HPL, numerically: Q ranks (threads) with
+//! block-cyclic columns, panel broadcast over channels, and look-ahead —
+//! the multi-node algorithm of Section V verified with real arithmetic.
+//!
+//! Run with: `cargo run --release --example distributed_hpl [N] [Q]`
+
+use linpack_phi::hpl::distributed::factorize_distributed;
+use linpack_phi::matrix::{hpl_residual, MatGen};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let n = args.first().copied().unwrap_or(256);
+    let q = args.get(1).copied().unwrap_or(4);
+    let nb = 32;
+
+    println!("Distributed HPL: N = {n}, NB = {nb}, 1x{q} process grid\n");
+    let a = MatGen::new(2013).matrix::<f64>(n, n);
+    let b = MatGen::new(2014).rhs::<f64>(n);
+
+    let t0 = std::time::Instant::now();
+    let d = factorize_distributed(&a, nb, q).expect("non-singular");
+    let dt = t0.elapsed();
+
+    let x = d.factors.solve(&b);
+    let rep = hpl_residual(&a.view(), &x, &b);
+    println!(
+        "factorized on {} ranks in {:.1} ms (wall, this machine)",
+        d.grid.q,
+        dt.as_secs_f64() * 1e3
+    );
+    println!(
+        "HPL residual check: scaled = {:.3e} -> {}",
+        rep.scaled_residual,
+        if rep.passed { "PASSED" } else { "FAILED" }
+    );
+
+    // Cross-check against the sequential reference.
+    let mut seq = a.clone();
+    let piv = linpack_phi::blas::lu::getrf(
+        &mut seq.view_mut(),
+        nb,
+        &linpack_phi::blas::gemm::BlockSizes::default(),
+    )
+    .unwrap();
+    assert_eq!(piv, d.factors.ipiv, "pivot sequences agree");
+    println!(
+        "factors match the sequential reference to {:.2e}",
+        d.factors.lu.max_abs_diff(&seq)
+    );
+}

@@ -1,0 +1,61 @@
+//! Renders the Fig. 7 Gantt charts: the LU execution profile of a 5K
+//! problem under static look-ahead vs dynamic scheduling, as ASCII art
+//! plus a CSV dump for external plotting.
+//!
+//! Run with: `cargo run --release --example gantt_profile [N] [--csv]`
+
+use linpack_phi::hpl::native::{
+    model::simulate_dynamic_traced, static_la::simulate_static_traced, NativeConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .iter()
+        .filter_map(|s| s.parse().ok())
+        .next()
+        .unwrap_or(5120);
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let cfg = NativeConfig::new(n);
+    let (st_rep, st_trace) = simulate_static_traced(&cfg, true);
+    let (dy_rep, dy_trace) = simulate_dynamic_traced(&cfg, true);
+
+    if csv {
+        println!("# static trace\n{}", st_trace.to_csv());
+        println!("# dynamic trace\n{}", dy_trace.to_csv());
+        return;
+    }
+
+    println!("LU execution profile, N = {n} (Fig. 7)");
+    println!("legend: P=DGETRF  S=DLASWP  T=DTRSM  G=DGEMM  .=barrier/idle\n");
+
+    println!(
+        "-- static look-ahead: {:.0} GFLOPS ({:.1}%), {:.4}s --",
+        st_rep.gflops,
+        100.0 * st_rep.efficiency(),
+        st_rep.time_s
+    );
+    println!("{}", st_trace.gantt_ascii(110, st_rep.time_s));
+
+    println!(
+        "-- dynamic scheduling: {:.0} GFLOPS ({:.1}%), {:.4}s --",
+        dy_rep.gflops,
+        100.0 * dy_rep.efficiency(),
+        dy_rep.time_s
+    );
+    println!("{}", dy_trace.gantt_ascii(110, dy_rep.time_s));
+
+    println!("Per-kind totals (lane-seconds):");
+    for (label, rep) in [("static", &st_rep), ("dynamic", &dy_rep)] {
+        print!("  {label:>8}: ");
+        for (kind, secs) in &rep.breakdown {
+            print!("{}={:.4}s  ", kind.label(), secs);
+        }
+        println!();
+    }
+    println!(
+        "\nDynamic reduces panel + barrier exposure; speedup {:.2}x at N = {n}.",
+        st_rep.time_s / dy_rep.time_s
+    );
+}

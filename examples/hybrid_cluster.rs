@@ -1,0 +1,65 @@
+//! Hybrid HPL on a cluster of host + coprocessor nodes: the Table III
+//! experiment. Sweeps the three look-ahead schemes of Fig. 8 on a single
+//! node, then scales the pipelined scheme from 1 to 100 nodes.
+//!
+//! Run with: `cargo run --release --example hybrid_cluster`
+
+use linpack_phi::fabric::ProcessGrid;
+use linpack_phi::hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+
+fn main() {
+    println!("Hybrid HPL (host + Knights Corner, NB = Kt = 1200)\n");
+
+    // Fig. 8: the three look-ahead schemes on one node, one card.
+    println!("Single node, N = 84,000, one coprocessor:");
+    for (la, label) in [
+        (Lookahead::None, "no look-ahead  (Fig. 8a)"),
+        (Lookahead::Basic, "basic          (Fig. 8b)"),
+        (Lookahead::Pipelined, "pipelined      (Fig. 8c)"),
+    ] {
+        let mut cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+        cfg.lookahead = la;
+        let r = simulate_cluster(&cfg, false);
+        println!(
+            "  {label}: {:.2} TFLOPS, {:.1}% efficiency, card idle {:.1}%",
+            r.report.gflops / 1e3,
+            100.0 * r.report.efficiency(),
+            100.0 * r.card_idle_fraction
+        );
+    }
+
+    // Scaling: the paper's cluster column (pipelined, 1 card per node).
+    println!("\nCluster scaling (pipelined look-ahead, 1 card/node, 64 GB/node):");
+    println!(
+        "{:>7} {:>6} {:>10} {:>9}  paper",
+        "N", "nodes", "TFLOPS", "eff"
+    );
+    for (n, p, q, paper) in [
+        (84_000usize, 1usize, 1usize, "1.12 TF / 79.8%"),
+        (168_000, 2, 2, "4.36 TF / 77.6%"),
+        (825_000, 10, 10, "107.0 TF / 76.1%"),
+    ] {
+        let cfg = HybridConfig::new(n, ProcessGrid::new(p, q), 1);
+        let r = simulate_cluster(&cfg, false);
+        println!(
+            "{:>7} {:>6} {:>10.2} {:>8.1}%  {paper}",
+            n,
+            p * q,
+            r.report.gflops / 1e3,
+            100.0 * r.report.efficiency()
+        );
+    }
+
+    // Memory sensitivity: the paper's 128 GB row.
+    println!("\nHost memory sensitivity (2x2 nodes, pipelined):");
+    for (n, mem, cards) in [(166_000usize, 64.0f64, 2usize), (242_000, 128.0, 2)] {
+        let mut cfg = HybridConfig::new(n, ProcessGrid::new(2, 2), cards);
+        cfg.host_mem_gib = mem;
+        let r = simulate_cluster(&cfg, false);
+        println!(
+            "  N={n:>7}, {mem:>3.0} GB/node, {cards} cards: {:.2} TFLOPS, {:.1}%",
+            r.report.gflops / 1e3,
+            100.0 * r.report.efficiency()
+        );
+    }
+}

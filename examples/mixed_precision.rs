@@ -1,0 +1,47 @@
+//! Mixed-precision Linpack: factor in f32 at twice the FLOP rate
+//! (Table I: 2148 SP vs 1074 DP GFLOPS on the card), then recover f64
+//! accuracy with iterative refinement — the natural payoff of the
+//! paper's claim that "we apply the same optimizations to SGEMM as well".
+//!
+//! Run with: `cargo run --release --example mixed_precision`
+
+use linpack_phi::hpl::refine::{demo_problem, solve_mixed_precision, TimedRefinement};
+use linpack_phi::matrix::hpl_residual;
+
+fn main() {
+    println!("Mixed-precision solve: f32 LU + f64 iterative refinement\n");
+
+    // Numeric demonstration.
+    for n in [128usize, 384, 768] {
+        let (a, b) = demo_problem(n, 2013);
+        let res = solve_mixed_precision(&a, &b, 32, 10).expect("non-singular");
+        let check = hpl_residual(&a.view(), &res.x, &b);
+        println!(
+            "n = {n:>4}: {} sweeps -> scaled residual {:.2e} ({})",
+            res.iterations,
+            check.scaled_residual,
+            if check.passed { "HPL PASS" } else { "HPL FAIL" }
+        );
+    }
+
+    // Chip-model payoff at paper scale.
+    println!("\nProjected payoff on Knights Corner (chip model):");
+    let t = TimedRefinement::default();
+    println!(
+        "{:>7} {:>12} {:>14} {:>9}",
+        "N", "DGETRF (s)", "mixed+3it (s)", "speedup"
+    );
+    for n in [5_000usize, 10_000, 20_000, 30_000] {
+        println!(
+            "{:>7} {:>12.2} {:>14.2} {:>8.2}x",
+            n,
+            t.dgetrf_time_s(n),
+            t.mixed_time_s(n, 3),
+            t.speedup(n, 3)
+        );
+    }
+    println!(
+        "\nThe speedup approaches the SP/DP peak ratio (2x) as the O(n^2)\n\
+         refinement sweeps amortize against the O(n^3) factorization."
+    );
+}

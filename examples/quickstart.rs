@@ -1,0 +1,71 @@
+//! Quickstart: factorize and solve a dense system three ways — the
+//! sequential reference, the paper's DAG-parallel scheduler on real
+//! threads, and the tile-stealing offload decomposition — and verify all
+//! of them with HPL's residual criterion.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use linpack_phi::blas::gemm::gemm_naive;
+use linpack_phi::blas::lu::lu_solve;
+use linpack_phi::hpl::native::solve_parallel;
+use linpack_phi::hpl::offload::offload_gemm_numeric;
+use linpack_phi::matrix::{hpl_residual, MatGen, Matrix};
+use linpack_phi::sched::GroupPlan;
+
+fn main() {
+    let n = 384;
+    let nb = 32;
+    println!("Solving a {n}x{n} HPL system (NB = {nb})\n");
+
+    let gen = MatGen::new(20130527); // the paper's publication era
+    let a = gen.matrix::<f64>(n, n);
+    let b = MatGen::new(7).rhs::<f64>(n);
+
+    // 1. Sequential blocked LU (the reference every scheduler must match).
+    let x_seq = lu_solve(&a, &b, nb).expect("matrix is non-singular");
+    let r_seq = hpl_residual(&a.view(), &x_seq, &b);
+    println!(
+        "sequential getrf    : scaled residual {:.3e}  -> {}",
+        r_seq.scaled_residual,
+        if r_seq.passed { "PASSED" } else { "FAILED" }
+    );
+
+    // 2. The paper's dynamic DAG scheduling on real thread groups
+    //    (Section IV-A): masters fetch tasks, members cooperate on the
+    //    trailing GEMM.
+    let plan = GroupPlan::new(4, 2);
+    let x_par = solve_parallel(&a, &b, nb, &plan).expect("matrix is non-singular");
+    let r_par = hpl_residual(&a.view(), &x_par, &b);
+    println!(
+        "DAG-parallel (4 thr): scaled residual {:.3e}  -> {}",
+        r_par.scaled_residual,
+        if r_par.passed { "PASSED" } else { "FAILED" }
+    );
+    let drift = x_seq
+        .iter()
+        .zip(&x_par)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |x_seq - x_par| : {drift:.3e} (schedulers agree)\n");
+
+    // 3. Offload-DGEMM style trailing update: card steals tiles forward,
+    //    host steals backward (Section V-B), reassembling the exact
+    //    product.
+    let k = 96;
+    let am = gen.matrix::<f64>(n, k);
+    let bm = MatGen::new(9).matrix::<f64>(k, n);
+    let mut c = MatGen::new(10).matrix::<f64>(n, n);
+    let mut c_ref = c.clone();
+    gemm_naive(-1.0, &am.view(), &bm.view(), 1.0, &mut c_ref.view_mut());
+    let (card_tiles, host_tiles) = offload_gemm_numeric(&am, &bm, &mut c, (4, 4), 1, 2);
+    println!(
+        "offload DGEMM       : card stole {card_tiles} tiles, host stole {host_tiles}, \
+         max diff vs reference {:.3e}",
+        c.max_abs_diff(&c_ref)
+    );
+
+    assert!(r_seq.passed && r_par.passed);
+    assert!(c.approx_eq(&c_ref, 1e-10));
+    let _ = Matrix::<f64>::zeros(0, 0);
+    println!("\nAll three paths produce verified solutions.");
+}

@@ -1,0 +1,307 @@
+//! `phi` — command-line driver for the Linpack flavours.
+//!
+//! ```text
+//! phi solve    --n 512 [--nb 32] [--threads 4] [--tpg 2] [--seed 42]
+//! phi native   --n 30720 [--nb 256] [--scheme dynamic|static]
+//! phi hybrid   --n 84000 [--grid 2x2] [--cards 1] [--lookahead pipelined] [--mem 64]
+//! phi offload  --n 82000 [--cards 1] [--host-cores 0]
+//! phi cluster  --n 60000 [--grid 2x2]          (native multi-node, future work)
+//! phi refine   --n 512 [--nb 32]               (mixed precision)
+//! phi dat      [--file HPL.dat] [--cards 1] [--mem 64]
+//! ```
+//!
+//! `solve` and `refine` run real arithmetic and verify with the HPL
+//! residual; the others run the calibrated timed backends.
+
+use linpack_phi::fabric::ProcessGrid;
+use linpack_phi::hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use linpack_phi::hpl::native::cluster::{simulate_native_cluster, NativeClusterConfig};
+use linpack_phi::hpl::native::{solve_parallel, NativeConfig, NativeScheme};
+use linpack_phi::hpl::offload::OffloadModel;
+use linpack_phi::hpl::hpldat::{paper_table3_dat, HplDat};
+use linpack_phi::hpl::refine::solve_mixed_precision;
+use linpack_phi::knc::Precision;
+use linpack_phi::matrix::{hpl_residual, MatGen};
+use linpack_phi::sched::GroupPlan;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed `--key value` arguments.
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{a}'"))?;
+            let val = it
+                .next()
+                .ok_or_else(|| format!("--{key} requires a value"))?;
+            map.insert(key.to_string(), val.clone());
+        }
+        Ok(Self(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    fn grid(&self) -> Result<(usize, usize), String> {
+        match self.0.get("grid") {
+            None => Ok((1, 1)),
+            Some(v) => {
+                let (p, q) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| format!("--grid expects PxQ, got '{v}'"))?;
+                Ok((
+                    p.parse().map_err(|_| format!("bad grid rows '{p}'"))?,
+                    q.parse().map_err(|_| format!("bad grid cols '{q}'"))?,
+                ))
+            }
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: phi <solve|native|hybrid|offload|cluster|refine> [--flags...]\n\
+     see module docs (src/bin/phi.rs) for per-command flags"
+}
+
+fn run(cmd: &str, args: &Args) -> Result<String, String> {
+    match cmd {
+        "solve" => {
+            let n: usize = args.get("n", 512)?;
+            let nb: usize = args.get("nb", 32)?;
+            let threads: usize = args.get("threads", 4)?;
+            let tpg: usize = args.get("tpg", 2)?;
+            let seed: u64 = args.get("seed", 42)?;
+            let a = MatGen::new(seed).matrix::<f64>(n, n);
+            let b = MatGen::new(seed + 1).rhs::<f64>(n);
+            let x = solve_parallel(&a, &b, nb, &GroupPlan::new(threads, tpg.min(threads)))
+                .map_err(|e| e.to_string())?;
+            let rep = hpl_residual(&a.view(), &x, &b);
+            Ok(format!(
+                "solved N={n} (NB={nb}, {threads} threads): scaled residual {:.3e} -> {}",
+                rep.scaled_residual,
+                if rep.passed { "HPL PASS" } else { "HPL FAIL" }
+            ))
+        }
+        "native" => {
+            let n: usize = args.get("n", 30_720)?;
+            let nb: usize = args.get("nb", 256)?;
+            let scheme = match args.get::<String>("scheme", "dynamic".into())?.as_str() {
+                "dynamic" => NativeScheme::DynamicScheduling,
+                "static" => NativeScheme::StaticLookahead,
+                other => return Err(format!("unknown scheme '{other}'")),
+            };
+            let mut cfg = NativeConfig::new(n);
+            cfg.nb = nb;
+            let r = cfg.simulate(scheme);
+            Ok(format!(
+                "native {scheme:?}: N={n} NB={nb} -> {:.1} GFLOPS ({:.1}% of 60-core peak) in {:.2}s",
+                r.gflops,
+                100.0 * r.efficiency(),
+                r.time_s
+            ))
+        }
+        "hybrid" => {
+            let n: usize = args.get("n", 84_000)?;
+            let (p, q) = args.grid()?;
+            let cards: usize = args.get("cards", 1)?;
+            let mem: f64 = args.get("mem", 64.0)?;
+            let la = match args.get::<String>("lookahead", "pipelined".into())?.as_str() {
+                "none" => Lookahead::None,
+                "basic" => Lookahead::Basic,
+                "pipelined" => Lookahead::Pipelined,
+                other => return Err(format!("unknown lookahead '{other}'")),
+            };
+            let mut cfg = HybridConfig::new(n, ProcessGrid::new(p, q), cards);
+            cfg.lookahead = la;
+            cfg.host_mem_gib = mem;
+            let r = simulate_cluster(&cfg, false);
+            Ok(format!(
+                "hybrid {la:?}: N={n} on {p}x{q} nodes, {cards} card(s), {mem:.0} GB -> \
+                 {:.2} TFLOPS ({:.1}%), card idle {:.1}%",
+                r.report.gflops / 1e3,
+                100.0 * r.report.efficiency(),
+                100.0 * r.card_idle_fraction
+            ))
+        }
+        "offload" => {
+            let n: usize = args.get("n", 82_000)?;
+            let cards: usize = args.get("cards", 1)?;
+            let host_cores: f64 = args.get("host-cores", 0.0)?;
+            let model = OffloadModel::default();
+            let out = model.simulate(n, n, cards, host_cores);
+            let peak = model.card.chip.full_peak_gflops(Precision::F64) * cards as f64;
+            Ok(format!(
+                "offload DGEMM: M=N={n}, Kt=1200, {cards} card(s), {host_cores} host cores -> \
+                 {:.0} GFLOPS ({:.1}% of card peak), grid {}x{}, tiles card/host {}/{}",
+                out.gflops,
+                100.0 * out.gflops / peak,
+                out.grid.0,
+                out.grid.1,
+                out.card_tiles,
+                out.host_tiles
+            ))
+        }
+        "cluster" => {
+            let n: usize = args.get("n", 60_000)?;
+            let (p, q) = args.grid()?;
+            let cfg = NativeClusterConfig::new(n, p, q);
+            let r = simulate_native_cluster(&cfg);
+            Ok(format!(
+                "native cluster: N={n} on {p}x{q} cards (hosts asleep) -> \
+                 {:.1} GFLOPS ({:.1}%)",
+                r.gflops,
+                100.0 * r.efficiency()
+            ))
+        }
+        "refine" => {
+            let n: usize = args.get("n", 512)?;
+            let nb: usize = args.get("nb", 32)?;
+            let seed: u64 = args.get("seed", 42)?;
+            let a = MatGen::new(seed).matrix::<f64>(n, n);
+            let b = MatGen::new(seed + 1).rhs::<f64>(n);
+            let res = solve_mixed_precision(&a, &b, nb, 12).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "mixed precision N={n}: {} sweeps, scaled residual {:.3e} -> {}",
+                res.iterations,
+                res.residual.scaled_residual,
+                if res.residual.passed { "HPL PASS" } else { "HPL FAIL" }
+            ))
+        }
+        "dat" => {
+            let cards: usize = args.get("cards", 1)?;
+            let mem: f64 = args.get("mem", 64.0)?;
+            let text = match args.0.get("file") {
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?,
+                None => paper_table3_dat().to_string(),
+            };
+            let dat = HplDat::parse(&text).map_err(|e| e.to_string())?;
+            let mut out = String::from(
+                "T/V                N    NB     P     Q          TFLOPS      eff\n",
+            );
+            for cfg in dat.expand(cards, mem) {
+                if cfg.bytes_per_node() > cfg.host_mem_gib * 1.073741824e9 * 0.95 {
+                    out.push_str(&format!(
+                        "-- skipped N={} on {}x{}: exceeds {:.0} GiB/node\n",
+                        cfg.n, cfg.grid.p, cfg.grid.q, cfg.host_mem_gib
+                    ));
+                    continue;
+                }
+                let r = simulate_cluster(&cfg, false);
+                out.push_str(&format!(
+                    "W{:}{:>17} {:>5} {:>5} {:>5} {:>15.3} {:>7.1}%\n",
+                    match cfg.lookahead {
+                        Lookahead::None => "00",
+                        Lookahead::Basic => "01",
+                        Lookahead::Pipelined => "02",
+                    },
+                    cfg.n,
+                    cfg.nb,
+                    cfg.grid.p,
+                    cfg.grid.q,
+                    r.report.gflops / 1e3,
+                    100.0 * r.report.efficiency()
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cmd, &args) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_grid() {
+        let a = Args::parse(&argv(&["--n", "1000", "--grid", "2x3"])).unwrap();
+        assert_eq!(a.get::<usize>("n", 0).unwrap(), 1000);
+        assert_eq!(a.grid().unwrap(), (2, 3));
+        assert_eq!(a.get::<usize>("nb", 7).unwrap(), 7, "default");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&argv(&["n", "1"])).is_err());
+        assert!(Args::parse(&argv(&["--n"])).is_err());
+        let a = Args::parse(&argv(&["--grid", "2y3"])).unwrap();
+        assert!(a.grid().is_err());
+        let b = Args::parse(&argv(&["--n", "abc"])).unwrap();
+        assert!(b.get::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn solve_command_end_to_end() {
+        let a = Args::parse(&argv(&["--n", "96", "--nb", "16", "--threads", "2", "--tpg", "1"]))
+            .unwrap();
+        let out = run("solve", &a).unwrap();
+        assert!(out.contains("HPL PASS"), "{out}");
+    }
+
+    #[test]
+    fn native_command_reports_efficiency() {
+        let a = Args::parse(&argv(&["--n", "4096"])).unwrap();
+        let out = run("native", &a).unwrap();
+        assert!(out.contains("GFLOPS"), "{out}");
+        let b = Args::parse(&argv(&["--n", "4096", "--scheme", "static"])).unwrap();
+        assert!(run("native", &b).is_ok());
+        let c = Args::parse(&argv(&["--scheme", "bogus", "--n", "4096"])).unwrap();
+        assert!(run("native", &c).is_err());
+    }
+
+    #[test]
+    fn dat_command_runs_builtin_plan() {
+        let a = Args::parse(&argv(&["--cards", "1"])).unwrap();
+        let out = run("dat", &a).unwrap();
+        assert!(out.contains("84000"), "{out}");
+        assert!(out.lines().count() >= 10, "{out}");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let a = Args::parse(&[]).unwrap();
+        assert!(run("frobnicate", &a).is_err());
+    }
+}

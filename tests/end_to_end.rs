@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: full solve paths through the numeric
+//! backends, exercising matrix generation, packing, kernels, scheduling
+//! and verification together.
+
+use linpack_phi::blas::gemm::{gemm_naive, BlockSizes, MicroKernelKind};
+use linpack_phi::blas::lu::{getrf, lu_solve, LuFactors};
+use linpack_phi::hpl::native::factorize_parallel;
+use linpack_phi::hpl::offload::offload_gemm_numeric;
+use linpack_phi::matrix::residual::HPL_THRESHOLD;
+use linpack_phi::matrix::{hpl_residual, MatGen, Matrix};
+use linpack_phi::sched::GroupPlan;
+
+#[test]
+fn hpl_acceptance_across_sizes_and_blockings() {
+    for (n, nb) in [(31usize, 4usize), (64, 16), (150, 24), (256, 32)] {
+        let a = MatGen::new(n as u64).matrix::<f64>(n, n);
+        let b = MatGen::new(n as u64 + 1).rhs::<f64>(n);
+        let x = lu_solve(&a, &b, nb).expect("non-singular");
+        let rep = hpl_residual(&a.view(), &x, &b);
+        assert!(
+            rep.passed && rep.scaled_residual < HPL_THRESHOLD,
+            "n={n} nb={nb}: scaled {:.3}",
+            rep.scaled_residual
+        );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_solutions_agree_bitwise_on_pivots() {
+    let n = 192;
+    let nb = 24;
+    let a = MatGen::new(1).matrix::<f64>(n, n);
+
+    let mut seq = a.clone();
+    let piv_seq = getrf(&mut seq.view_mut(), nb, &BlockSizes::default()).unwrap();
+
+    for plan in [GroupPlan::new(2, 1), GroupPlan::new(4, 2), GroupPlan::new(6, 3)] {
+        let mut par = a.clone();
+        let piv_par = factorize_parallel(&mut par, nb, &plan).unwrap();
+        assert_eq!(piv_seq, piv_par, "plan {plan:?}");
+        assert!(
+            par.max_abs_diff(&seq) < 1e-10,
+            "plan {plan:?}: factor drift {}",
+            par.max_abs_diff(&seq)
+        );
+    }
+}
+
+#[test]
+fn solve_then_verify_full_pipeline_with_knc_kernels() {
+    // Use the KNC-shaped GEMM inside the sequential LU so the paper's
+    // register blocking carries all of the trailing updates.
+    let n = 120;
+    let nb = 30;
+    let a = MatGen::new(5).matrix::<f64>(n, n);
+    let b = MatGen::new(6).rhs::<f64>(n);
+    let mut lu = a.clone();
+    let ipiv = getrf(&mut lu.view_mut(), nb, &BlockSizes::knc()).unwrap();
+    let x = LuFactors { lu, ipiv }.solve(&b);
+    assert!(hpl_residual(&a.view(), &x, &b).passed);
+}
+
+#[test]
+fn offload_trailing_update_inside_lu_stage() {
+    // Emulate one hybrid HPL stage numerically: factor a panel, solve U,
+    // then run the trailing update through the tile-stealing engine, and
+    // compare against a fully sequential stage.
+    let n = 160;
+    let nb = 32;
+    let a0 = MatGen::new(9).matrix::<f64>(n, n);
+
+    // Sequential reference: one blocked step.
+    let mut reference = a0.clone();
+    let piv = getrf(&mut reference.view_mut(), nb, &BlockSizes::default()).unwrap();
+
+    // Manual stage with offload update.
+    let mut manual = a0.clone();
+    {
+        use linpack_phi::blas::laswp::laswp_forward;
+        use linpack_phi::blas::lu::getf2;
+        use linpack_phi::blas::trsm::trsm_left_lower_unit;
+        let mut ipiv0 = Vec::new();
+        {
+            let mut panel = manual.sub_mut(0, 0, n, nb);
+            getf2(&mut panel, &mut ipiv0, 0).unwrap();
+        }
+        {
+            let mut right = manual.sub_mut(0, nb, n, n - nb);
+            laswp_forward(&mut right, &ipiv0);
+        }
+        let l11 = manual.sub(0, 0, nb, nb).to_matrix();
+        {
+            let mut u12 = manual.sub_mut(0, nb, nb, n - nb);
+            trsm_left_lower_unit(&l11.view(), &mut u12);
+        }
+        // Trailing update via the offload engine.
+        let l21 = manual.sub(nb, 0, n - nb, nb).to_matrix();
+        let u12 = manual.sub(0, nb, nb, n - nb).to_matrix();
+        let mut a22 = manual.sub(nb, nb, n - nb, n - nb).to_matrix();
+        offload_gemm_numeric(&l21, &u12, &mut a22, (3, 3), 1, 1);
+        manual.sub_mut(nb, nb, n - nb, n - nb).copy_from(&a22.view());
+        assert_eq!(&piv[..nb], &ipiv0[..]);
+    }
+    // The first panel + first trailing update must agree with getrf's
+    // state after its first stage; compare the A22 block after completing
+    // the reference factorization is not possible directly, so redo the
+    // comparison against an explicitly computed first stage.
+    let mut expect = a0.clone();
+    {
+        use linpack_phi::blas::laswp::laswp_forward;
+        use linpack_phi::blas::lu::getf2;
+        use linpack_phi::blas::trsm::trsm_left_lower_unit;
+        let mut ipiv0 = Vec::new();
+        {
+            let mut panel = expect.sub_mut(0, 0, n, nb);
+            getf2(&mut panel, &mut ipiv0, 0).unwrap();
+        }
+        {
+            let mut right = expect.sub_mut(0, nb, n, n - nb);
+            laswp_forward(&mut right, &ipiv0);
+        }
+        let l11 = expect.sub(0, 0, nb, nb).to_matrix();
+        {
+            let mut u12 = expect.sub_mut(0, nb, nb, n - nb);
+            trsm_left_lower_unit(&l11.view(), &mut u12);
+        }
+        let l21 = expect.sub(nb, 0, n - nb, nb).to_matrix();
+        let u12 = expect.sub(0, nb, nb, n - nb).to_matrix();
+        let mut a22 = expect.sub(nb, nb, n - nb, n - nb).to_matrix();
+        gemm_naive(-1.0, &l21.view(), &u12.view(), 1.0, &mut a22.view_mut());
+        expect.sub_mut(nb, nb, n - nb, n - nb).copy_from(&a22.view());
+    }
+    assert!(
+        manual.max_abs_diff(&expect) < 1e-11,
+        "offload stage drift {}",
+        manual.max_abs_diff(&expect)
+    );
+}
+
+#[test]
+fn kernel_variants_agree_through_whole_factorization() {
+    let n = 96;
+    let a = MatGen::new(11).matrix::<f64>(n, n);
+    let run = |kernel: MicroKernelKind, mr: usize| {
+        let bs = BlockSizes {
+            mr,
+            kernel,
+            ..BlockSizes::knc()
+        };
+        let mut m = a.clone();
+        let piv = getrf(&mut m.view_mut(), 16, &bs).unwrap();
+        (m, piv)
+    };
+    let (m1, p1) = run(MicroKernelKind::Kernel1, 31);
+    let (m2, p2) = run(MicroKernelKind::Kernel2, 30);
+    assert_eq!(p1, p2);
+    assert!(m1.max_abs_diff(&m2) < 1e-12);
+}
+
+#[test]
+fn generator_supports_distributed_hpl_layout() {
+    // A 2x2 grid generating its local blocks must tile the global matrix.
+    let n = 32;
+    let gen = MatGen::new(77);
+    let global = gen.matrix::<f64>(n, n);
+    for (r0, c0) in [(0, 0), (0, 16), (16, 0), (16, 16)] {
+        let mut local = Matrix::<f64>::zeros(16, 16);
+        gen.fill_window(&mut local, r0, c0, n);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(local[(i, j)], global[(r0 + i, c0 + j)]);
+            }
+        }
+    }
+}

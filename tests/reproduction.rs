@@ -1,0 +1,141 @@
+//! The headline reproduction checks: every number the abstract and
+//! evaluation highlight, asserted against the timed backends. These are
+//! the "shape" guarantees of the reproduction — who wins, by what
+//! factor, where the crossovers fall.
+
+use linpack_phi::fabric::ProcessGrid;
+use linpack_phi::hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use linpack_phi::hpl::native::{NativeConfig, NativeScheme};
+use linpack_phi::hpl::offload::OffloadModel;
+use linpack_phi::knc::{GemmModel, Precision};
+
+/// "Our native DGEMM implementation ... successfully utilizes close to
+/// 90% of its peak compute capability" — 89.4%, 944 GFLOPS at k = 300.
+#[test]
+fn headline_dgemm() {
+    let m = GemmModel::default();
+    let eff = m.efficiency_vs_k(300, Precision::F64);
+    assert!((eff - 0.894).abs() < 0.004, "DGEMM eff {eff:.4}");
+    let gf = m.gflops_vs_k(300, Precision::F64);
+    assert!((gf - 944.0).abs() < 5.0, "DGEMM {gf:.0} GFLOPS");
+}
+
+/// "Our native Linpack implementation ... achieves close to 80%
+/// efficiency — the highest published co-processor efficiency" — 78.8%.
+#[test]
+fn headline_native_linpack() {
+    let r = NativeConfig::new(30_720).simulate(NativeScheme::DynamicScheduling);
+    assert!(
+        (r.efficiency() - 0.788).abs() < 0.02,
+        "native eff {:.4} ({:.0} GFLOPS)",
+        r.efficiency(),
+        r.gflops
+    );
+}
+
+/// "our single-node hybrid implementation of Linpack also achieves
+/// nearly 80% efficiency" — 79.8% with one card and pipelined look-ahead.
+#[test]
+fn headline_single_node_hybrid() {
+    let cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+    let r = simulate_cluster(&cfg, false);
+    assert!(
+        (r.report.efficiency() - 0.798).abs() < 0.025,
+        "hybrid eff {:.4}",
+        r.report.efficiency()
+    );
+}
+
+/// "it achieves over 76% efficiency while delivering the total
+/// performance of 107 TFLOPS" on the 100-node cluster.
+#[test]
+fn headline_hundred_nodes() {
+    let cfg = HybridConfig::new(825_000, ProcessGrid::new(10, 10), 1);
+    let r = simulate_cluster(&cfg, false);
+    let tf = r.report.gflops / 1e3;
+    assert!((tf - 107.0).abs() < 6.0, "{tf:.1} TFLOPS");
+    assert!(r.report.efficiency() > 0.73, "{:.4}", r.report.efficiency());
+}
+
+/// Fig. 6's crossover: dynamic scheduling beats static look-ahead below
+/// 8K, and the two converge at 30K.
+#[test]
+fn dynamic_vs_static_shape() {
+    for n in [2048usize, 4096, 6144] {
+        let cfg = NativeConfig::new(n);
+        let dy = cfg.simulate(NativeScheme::DynamicScheduling);
+        let st = cfg.simulate(NativeScheme::StaticLookahead);
+        // Clear wins at the small end, a narrowing margin approaching 8K
+        // (the crossover the paper describes).
+        let factor = if n <= 4096 { 1.02 } else { 1.0 };
+        assert!(
+            dy.gflops > st.gflops * factor,
+            "n={n}: dynamic {:.0} vs static {:.0}",
+            dy.gflops,
+            st.gflops
+        );
+    }
+    let cfg = NativeConfig::new(30_720);
+    let dy = cfg.simulate(NativeScheme::DynamicScheduling);
+    let st = cfg.simulate(NativeScheme::StaticLookahead);
+    assert!(
+        (dy.efficiency() - st.efficiency()).abs() < 0.03,
+        "convergence at 30K: {:.3} vs {:.3}",
+        dy.efficiency(),
+        st.efficiency()
+    );
+}
+
+/// The look-ahead ladder: none < basic < pipelined, with the pipelined
+/// gain in the paper's 7–9% efficiency band (single node, one card).
+#[test]
+fn lookahead_ladder() {
+    let run = |la: Lookahead| {
+        let mut cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+        cfg.lookahead = la;
+        simulate_cluster(&cfg, false).report.efficiency()
+    };
+    let none = run(Lookahead::None);
+    let basic = run(Lookahead::Basic);
+    let pipe = run(Lookahead::Pipelined);
+    assert!(none < basic && basic < pipe, "{none:.3} {basic:.3} {pipe:.3}");
+    assert!(
+        (0.04..0.12).contains(&(pipe - basic)),
+        "pipelining gain {:.3}",
+        pipe - basic
+    );
+}
+
+/// Offload DGEMM: ≈85.4% on one card at 82K, ≈83% on two cards, with
+/// the dual-card configuration degrading faster at small sizes.
+#[test]
+fn offload_dgemm_shape() {
+    let m = OffloadModel::default();
+    let peak = m.card.chip.full_peak_gflops(Precision::F64);
+    let e1 = m.simulate(82_000, 82_000, 1, 0.0).gflops / peak;
+    let e2 = m.simulate(82_000, 82_000, 2, 0.0).gflops / (2.0 * peak);
+    assert!((e1 - 0.854).abs() < 0.02, "1-card {e1:.3}");
+    assert!((e2 - 0.83).abs() < 0.025, "2-card {e2:.3}");
+    assert!(e1 > e2);
+}
+
+/// The PCIe bound that sets the block size: Kt must exceed
+/// 4·P/BW ≈ 950, and the paper's Kt = 1200 satisfies it.
+#[test]
+fn pcie_tile_bound() {
+    let pcie = linpack_phi::fabric::PcieConfig::default();
+    let min_kt = pcie.min_kt(950e9);
+    assert!((900.0..1000.0).contains(&min_kt));
+    assert!(1200.0 > min_kt);
+}
+
+/// Energy observation from the conclusion: two cards deliver ~6x the
+/// host's FLOPS, so host-idle time is six times as costly as card-idle
+/// time — the asymmetry driving the whole hybrid design.
+#[test]
+fn flops_asymmetry() {
+    let card = GemmModel::default().chip.full_peak_gflops(Precision::F64);
+    let host = linpack_phi::xeon::XeonConfig::default().peak_gflops();
+    let ratio = 2.0 * card / host;
+    assert!((5.5..7.5).contains(&ratio), "2 cards / host = {ratio:.2}");
+}
