@@ -1,16 +1,29 @@
-//! Criterion benches of the cycle-level KNC emulator and of the
+//! Wall-clock benches of the cycle-level KNC emulator and of the
 //! discrete-event Linpack simulations — the "simulator speed" numbers a
-//! user of this substrate cares about.
+//! user of this substrate cares about. Plain timing loops — no external
+//! harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use phi_blas::gemm::MicroKernelKind;
 use phi_hpl::native::{model::simulate_dynamic, NativeConfig};
 use phi_hpl::offload::OffloadModel;
 use phi_knc::{kernels, PipelineConfig};
 use phi_matrix::HplRng;
+use std::time::Instant;
 
-fn bench_emulated_tile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("emulator_tile_product");
+/// Runs `f` for ~200ms after one warmup call and prints ns/iter.
+fn bench(label: &str, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:<44} {:>14.1} ns/iter  ({iters} iters)", per * 1e9);
+}
+
+fn bench_emulated_tile() {
     for depth in [100usize, 300] {
         for kind in [MicroKernelKind::Kernel1, MicroKernelKind::Kernel2] {
             let mr = kernels::kernel_mr(kind);
@@ -19,36 +32,33 @@ fn bench_emulated_tile(c: &mut Criterion) {
             let bs: [Vec<f64>; 4] = std::array::from_fn(|_| {
                 (0..depth * kernels::NR).map(|_| rng.next_value()).collect()
             });
-            // 4 threads × mr FMAs × 8 lanes × 2 flops per iteration.
-            g.throughput(Throughput::Elements((4 * mr * 8 * 2 * depth) as u64));
-            g.bench_function(
-                BenchmarkId::new(format!("{kind:?}"), depth),
-                |bench| {
-                    bench.iter(|| {
-                        kernels::run_tile_product(kind, depth, &a, &bs, PipelineConfig::default())
-                    });
-                },
-            );
+            bench(&format!("emulator_tile_product/{kind:?}/{depth}"), || {
+                std::hint::black_box(kernels::run_tile_product(
+                    kind,
+                    depth,
+                    &a,
+                    &bs,
+                    PipelineConfig::default(),
+                ));
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_des_linpack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des_simulation");
-    g.sample_size(10);
+fn bench_des_linpack() {
     for n in [4096usize, 16384] {
-        g.bench_with_input(BenchmarkId::new("native_dynamic", n), &n, |bench, &n| {
-            let cfg = NativeConfig::new(n);
-            bench.iter(|| simulate_dynamic(&cfg, false));
+        let cfg = NativeConfig::new(n);
+        bench(&format!("des_simulation/native_dynamic/{n}"), || {
+            std::hint::black_box(simulate_dynamic(&cfg, false));
         });
     }
-    g.bench_function("offload_dgemm_40k", |bench| {
-        let model = OffloadModel::default();
-        bench.iter(|| model.simulate_with_grid(40_000, 40_000, 1, 8.0, (6, 6)));
+    let model = OffloadModel::default();
+    bench("des_simulation/offload_dgemm_40k", || {
+        std::hint::black_box(model.simulate_with_grid(40_000, 40_000, 1, 8.0, (6, 6)));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_emulated_tile, bench_des_linpack);
-criterion_main!(benches);
+fn main() {
+    bench_emulated_tile();
+    bench_des_linpack();
+}

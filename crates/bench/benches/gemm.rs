@@ -1,80 +1,94 @@
-//! Criterion benches over the real GEMM kernels: packing, microkernels
+//! Wall-clock benches over the real GEMM kernels: packing, microkernels
 //! and the blocked driver (host-side wall time, complementing the
-//! virtual-time figures).
+//! virtual-time figures). Plain timing loops — no external harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use phi_blas::gemm::{
     gemm_naive, gemm_with, micro_kernel_into, pack_a, pack_b, BlockSizes, MicroKernelKind,
 };
 use phi_matrix::{MatGen, Matrix};
+use std::time::Instant;
 
-fn bench_microkernels(c: &mut Criterion) {
+/// Runs `f` for ~200ms after one warmup call and prints ns/iter.
+fn bench(label: &str, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:<44} {:>14.1} ns/iter  ({iters} iters)", per * 1e9);
+}
+
+fn bench_microkernels() {
     let depth = 300;
-    let mut g = c.benchmark_group("microkernel");
-    for (kind, mr) in [(MicroKernelKind::Kernel1, 31), (MicroKernelKind::Kernel2, 30)] {
+    for (kind, mr) in [
+        (MicroKernelKind::Kernel1, 31),
+        (MicroKernelKind::Kernel2, 30),
+    ] {
         let a = MatGen::new(1).matrix::<f64>(mr, depth);
         let b = MatGen::new(2).matrix::<f64>(depth, 8);
         let pa = pack_a(&a.view(), mr);
         let pb = pack_b(&b.view(), 8);
-        g.throughput(Throughput::Elements((2 * mr * 8 * depth) as u64));
-        g.bench_function(BenchmarkId::new("tile", format!("{kind:?}")), |bench| {
-            let mut cmat = Matrix::<f64>::zeros(mr, 8);
-            bench.iter(|| {
-                micro_kernel_into(
-                    kind,
-                    mr,
-                    8,
-                    depth,
-                    pa.tile(0),
-                    pb.tile(0),
-                    1.0,
-                    1.0,
-                    &mut cmat.view_mut(),
-                );
-            });
+        let mut cmat = Matrix::<f64>::zeros(mr, 8);
+        bench(&format!("microkernel/tile/{kind:?}"), || {
+            micro_kernel_into(
+                kind,
+                mr,
+                8,
+                depth,
+                pa.tile(0),
+                pb.tile(0),
+                1.0,
+                1.0,
+                &mut cmat.view_mut(),
+            );
         });
     }
-    g.finish();
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packing");
+fn bench_packing() {
     for n in [256usize, 1024] {
         let a = MatGen::new(3).matrix::<f64>(n, 300);
-        g.throughput(Throughput::Elements((n * 300) as u64));
-        g.bench_with_input(BenchmarkId::new("pack_a_mr30", n), &n, |bench, _| {
-            bench.iter(|| pack_a(&a.view(), 30));
+        bench(&format!("packing/pack_a_mr30/{n}"), || {
+            std::hint::black_box(pack_a(&a.view(), 30));
         });
         let b = MatGen::new(4).matrix::<f64>(300, n);
-        g.bench_with_input(BenchmarkId::new("pack_b_nr8", n), &n, |bench, _| {
-            bench.iter(|| pack_b(&b.view(), 8));
+        bench(&format!("packing/pack_b_nr8/{n}"), || {
+            std::hint::black_box(pack_b(&b.view(), 8));
         });
     }
-    g.finish();
 }
 
-fn bench_gemm_drivers(c: &mut Criterion) {
+fn bench_gemm_drivers() {
     let n = 192;
     let a = MatGen::new(5).matrix::<f64>(n, n);
     let b = MatGen::new(6).matrix::<f64>(n, n);
-    let mut g = c.benchmark_group("dgemm");
-    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-    g.bench_function("naive", |bench| {
+    {
         let mut cm = Matrix::<f64>::zeros(n, n);
-        bench.iter(|| gemm_naive(1.0, &a.view(), &b.view(), 0.0, &mut cm.view_mut()));
-    });
-    g.bench_function("blocked_host", |bench| {
+        bench("dgemm/naive", || {
+            gemm_naive(1.0, &a.view(), &b.view(), 0.0, &mut cm.view_mut());
+        });
+    }
+    {
         let mut cm = Matrix::<f64>::zeros(n, n);
         let bs = BlockSizes::default();
-        bench.iter(|| gemm_with(1.0, &a.view(), &b.view(), 0.0, &mut cm.view_mut(), &bs));
-    });
-    g.bench_function("blocked_knc_shape", |bench| {
+        bench("dgemm/blocked_host", || {
+            gemm_with(1.0, &a.view(), &b.view(), 0.0, &mut cm.view_mut(), &bs);
+        });
+    }
+    {
         let mut cm = Matrix::<f64>::zeros(n, n);
         let bs = BlockSizes::knc();
-        bench.iter(|| gemm_with(1.0, &a.view(), &b.view(), 0.0, &mut cm.view_mut(), &bs));
-    });
-    g.finish();
+        bench("dgemm/blocked_knc_shape", || {
+            gemm_with(1.0, &a.view(), &b.view(), 0.0, &mut cm.view_mut(), &bs);
+        });
+    }
 }
 
-criterion_group!(benches, bench_microkernels, bench_packing, bench_gemm_drivers);
-criterion_main!(benches);
+fn main() {
+    bench_microkernels();
+    bench_packing();
+    bench_gemm_drivers();
+}

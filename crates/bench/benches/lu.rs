@@ -1,56 +1,55 @@
-//! Criterion benches over the LU path: unblocked panel, blocked
-//! factorization, and the DAG-parallel numeric backend.
+//! Wall-clock benches over the LU path: unblocked panel, blocked
+//! factorization, and the DAG-parallel numeric backend. Plain timing
+//! loops — no external harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use phi_blas::gemm::BlockSizes;
 use phi_blas::lu::{getf2, getrf};
 use phi_hpl::native::factorize_parallel;
 use phi_matrix::MatGen;
 use phi_sched::GroupPlan;
+use std::time::Instant;
 
-fn bench_panel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("panel_getf2");
+/// Runs `f` for ~200ms after one warmup call and prints ns/iter.
+fn bench(label: &str, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:<44} {:>14.1} ns/iter  ({iters} iters)", per * 1e9);
+}
+
+fn bench_panel() {
     for (m, nb) in [(256usize, 16usize), (512, 32)] {
         let a = MatGen::new(1).matrix::<f64>(m, nb);
-        g.throughput(Throughput::Elements((m * nb * nb) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{nb}")), &m, |bench, _| {
-            bench.iter_batched(
-                || a.clone(),
-                |mut panel| {
-                    let mut piv = Vec::new();
-                    getf2(&mut panel.view_mut(), &mut piv, 0).unwrap();
-                    piv
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        bench(&format!("panel_getf2/{m}x{nb}"), || {
+            let mut panel = a.clone();
+            let mut piv = Vec::new();
+            getf2(&mut panel.view_mut(), &mut piv, 0).unwrap();
+            std::hint::black_box(piv);
         });
     }
-    g.finish();
 }
 
-fn bench_getrf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("getrf");
+fn bench_getrf() {
     for n in [128usize, 256] {
         let a = MatGen::new(2).matrix::<f64>(n, n);
-        g.throughput(Throughput::Elements((2 * n * n * n / 3) as u64));
-        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
-            bench.iter_batched(
-                || a.clone(),
-                |mut m| getrf(&mut m.view_mut(), 32, &BlockSizes::default()).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
+        bench(&format!("getrf/sequential/{n}"), || {
+            let mut m = a.clone();
+            std::hint::black_box(getrf(&mut m.view_mut(), 32, &BlockSizes::default()).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("dag_parallel_4t", n), &n, |bench, _| {
-            let plan = GroupPlan::new(4, 2);
-            bench.iter_batched(
-                || a.clone(),
-                |mut m| factorize_parallel(&mut m, 32, &plan).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
+        let plan = GroupPlan::new(4, 2);
+        bench(&format!("getrf/dag_parallel_4t/{n}"), || {
+            let mut m = a.clone();
+            std::hint::black_box(factorize_parallel(&mut m, 32, &plan).unwrap());
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_panel, bench_getrf);
-criterion_main!(benches);
+fn main() {
+    bench_panel();
+    bench_getrf();
+}

@@ -1,67 +1,73 @@
-//! Criterion benches of the scheduling structures, including the
+//! Wall-clock benches of the scheduling structures, including the
 //! master-only vs all-threads critical-section ablation the paper's
-//! group design is motivated by (Section IV-A).
+//! group design is motivated by (Section IV-A). Plain timing loops — no
+//! external harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phi_sched::{run_group_scheduled, DagScheduler, GroupPlan, TileDeque};
+use std::time::Instant;
 
-fn bench_dag_drain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dag_drain_single_thread");
+/// Runs `f` for ~200ms after one warmup call and prints ns/iter.
+fn bench(label: &str, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:<44} {:>14.1} ns/iter  ({iters} iters)", per * 1e9);
+}
+
+fn bench_dag_drain() {
     for npanels in [32usize, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(npanels), &npanels, |bench, &n| {
-            bench.iter(|| {
-                let dag = DagScheduler::new(n);
-                let mut count = 0usize;
-                while let Some(t) = dag.available_task() {
-                    dag.commit(t);
-                    count += 1;
-                }
-                count
-            });
+        bench(&format!("dag_drain_single_thread/{npanels}"), || {
+            let dag = DagScheduler::new(npanels);
+            let mut count = 0usize;
+            while let Some(t) = dag.available_task() {
+                dag.commit(t);
+                count += 1;
+            }
+            std::hint::black_box(count);
         });
     }
-    g.finish();
 }
 
 /// The contention ablation: the same DAG drained by 8 threads organized
 /// either as 8 independent lock-takers (groups of 1) or as 2 groups of 4
 /// where only the master touches the scheduler lock.
-fn bench_group_contention(c: &mut Criterion) {
-    let mut g = c.benchmark_group("critical_section_ablation");
-    g.sample_size(10);
+fn bench_group_contention() {
     let npanels = 48;
     for (label, tpg) in [("all_threads_contend", 1usize), ("master_only", 4usize)] {
-        g.bench_function(label, |bench| {
-            bench.iter(|| {
-                let dag = DagScheduler::new(npanels);
-                let plan = GroupPlan::new(8, tpg);
-                run_group_scheduled(&dag, &plan, |_, _, _| {
-                    // A tiny simulated kernel so lock traffic dominates.
-                    std::hint::black_box((0..64).sum::<u64>());
-                });
+        bench(&format!("critical_section_ablation/{label}"), || {
+            let dag = DagScheduler::new(npanels);
+            let plan = GroupPlan::new(8, tpg);
+            run_group_scheduled(&dag, &plan, |_, _, _| {
+                // A tiny simulated kernel so lock traffic dominates.
+                std::hint::black_box((0..64).sum::<u64>());
             });
         });
     }
-    g.finish();
 }
 
-fn bench_tile_deque(c: &mut Criterion) {
-    c.bench_function("tile_deque_drain_10k", |bench| {
-        bench.iter(|| {
-            let d = TileDeque::new(10_000);
-            let mut n = 0usize;
-            loop {
-                let a = d.steal_front();
-                let b = d.steal_back();
-                if a.is_none() && b.is_none() {
-                    break;
-                }
-                n += usize::from(a.is_some()) + usize::from(b.is_some());
+fn bench_tile_deque() {
+    bench("tile_deque_drain_10k", || {
+        let d = TileDeque::new(10_000);
+        let mut n = 0usize;
+        loop {
+            let a = d.steal_front();
+            let b = d.steal_back();
+            if a.is_none() && b.is_none() {
+                break;
             }
-            n
-        });
+            n += usize::from(a.is_some()) + usize::from(b.is_some());
+        }
+        std::hint::black_box(n);
     });
 }
 
-criterion_group!(benches, bench_dag_drain, bench_group_contention, bench_tile_deque);
-criterion_main!(benches);
+fn main() {
+    bench_dag_drain();
+    bench_group_contention();
+    bench_tile_deque();
+}

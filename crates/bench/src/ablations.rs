@@ -179,9 +179,8 @@ pub fn ablation_prefetch(thresholds: &[u32]) -> Vec<PrefetchRow> {
         let mr = kernels::kernel_mr(kind);
         let mut rng = HplRng::new(3);
         let a: Vec<f64> = (0..mr * depth).map(|_| rng.next_value()).collect();
-        let bs = std::array::from_fn(|_| {
-            (0..depth * kernels::NR).map(|_| rng.next_value()).collect()
-        });
+        let bs =
+            std::array::from_fn(|_| (0..depth * kernels::NR).map(|_| rng.next_value()).collect());
         let cfg = PipelineConfig {
             fill_defer_threshold: thr,
             ..PipelineConfig::default()

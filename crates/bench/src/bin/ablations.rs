@@ -1,7 +1,19 @@
 //! Runs the four ablation studies of DESIGN.md §4.
 fn main() {
-    println!("== Super-stages + regrouping vs fixed partitions ==\n{}", phi_bench::ablations::superstage_render());
-    println!("== Dynamic work stealing vs static split (M=N=40K, 12 host cores) ==\n{}", phi_bench::ablations::stealing_render());
-    println!("== Run-time tile-size selection vs fixed grids ==\n{}", phi_bench::ablations::tiles_render());
-    println!("== Prefetch-fill defer threshold (Fig. 1c) ==\n{}", phi_bench::ablations::prefetch_render());
+    println!(
+        "== Super-stages + regrouping vs fixed partitions ==\n{}",
+        phi_bench::ablations::superstage_render()
+    );
+    println!(
+        "== Dynamic work stealing vs static split (M=N=40K, 12 host cores) ==\n{}",
+        phi_bench::ablations::stealing_render()
+    );
+    println!(
+        "== Run-time tile-size selection vs fixed grids ==\n{}",
+        phi_bench::ablations::tiles_render()
+    );
+    println!(
+        "== Prefetch-fill defer threshold (Fig. 1c) ==\n{}",
+        phi_bench::ablations::prefetch_render()
+    );
 }

@@ -1,0 +1,21 @@
+//! Fault campaign: degraded-vs-healthy hybrid Linpack under seeded,
+//! replayable fault plans. Pass a hex or decimal seed to change the
+//! random campaigns; the replay check must always print bit-identical.
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .map(|s| {
+            let s = s.trim();
+            let hex = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"));
+            match hex {
+                Some(h) => u64::from_str_radix(h, 16),
+                None => s.parse(),
+            }
+            .expect("seed must be a u64 (decimal or 0x-hex)")
+        })
+        .unwrap_or(0xFA_0175);
+    println!(
+        "== Fault campaign ==\n{}",
+        phi_bench::fault_campaign_render(seed)
+    );
+}

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 11 (offload DGEMM performance).
 fn main() {
-    println!("Fig. 11 — offload DGEMM (Kt = 1200)\n{}", phi_bench::fig11_render());
+    println!(
+        "Fig. 11 — offload DGEMM (Kt = 1200)\n{}",
+        phi_bench::fig11_render()
+    );
 }

@@ -5,7 +5,10 @@ use phi_knc::disasm::disassemble;
 use phi_knc::kernels::build_basic_kernel;
 
 fn main() {
-    println!("Fig. 2 — Basic Kernel 1 vs Basic Kernel 2 (emulated)\n{}", phi_bench::fig2_render());
+    println!(
+        "Fig. 2 — Basic Kernel 1 vs Basic Kernel 2 (emulated)\n{}",
+        phi_bench::fig2_render()
+    );
     for (kind, label) in [
         (MicroKernelKind::Kernel1, "Basic Kernel 1 (Fig. 2b)"),
         (MicroKernelKind::Kernel2, "Basic Kernel 2 (Fig. 2c)"),

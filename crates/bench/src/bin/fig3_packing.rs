@@ -11,7 +11,10 @@ fn main() {
         pa.tile_count()
     );
     println!("  tile 0, column 0 starts: {:?}", &pa.tile(0)[..4]);
-    println!("  tile 2 has {} live rows (zero-padded to 30)", pa.tile_rows(2));
+    println!(
+        "  tile 2 has {} live rows (zero-padded to 30)",
+        pa.tile_rows(2)
+    );
     let b = MatGen::new(2).matrix::<f64>(6, 20);
     let pb = pack_b(&b.view(), 8);
     println!(
@@ -19,5 +22,8 @@ fn main() {
         pb.tile_count()
     );
     println!("  tile 0, row 0 starts: {:?}", &pb.tile(0)[..4]);
-    println!("  tile 2 has {} live cols (zero-padded to 8)", pb.tile_cols(2));
+    println!(
+        "  tile 2 has {} live cols (zero-padded to 8)",
+        pb.tile_cols(2)
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 4 (DGEMM performance vs matrix size).
 fn main() {
-    println!("Fig. 4 — DGEMM performance comparison\n{}", phi_bench::fig4_render());
+    println!(
+        "Fig. 4 — DGEMM performance comparison\n{}",
+        phi_bench::fig4_render()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 6 (native Linpack vs problem size).
 fn main() {
-    println!("Fig. 6 — native Linpack performance\n{}", phi_bench::fig6_render());
+    println!(
+        "Fig. 6 — native Linpack performance\n{}",
+        phi_bench::fig6_render()
+    );
 }

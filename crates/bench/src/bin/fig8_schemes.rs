@@ -6,8 +6,6 @@ use phi_hpl::hybrid::HybridConfig;
 
 fn main() {
     let cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
-    println!(
-        "Fig. 8 — hybrid HPL look-ahead schemes (single node, 1 card, N = 84K, stage 5)\n"
-    );
+    println!("Fig. 8 — hybrid HPL look-ahead schemes (single node, 1 card, N = 84K, stage 5)\n");
     println!("{}", fig8_render(&cfg, 5, 110));
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 9 (2x2-node hybrid HPL iteration profiles).
 fn main() {
-    println!("Fig. 9 — hybrid HPL profile, 2x2 nodes, 2 cards, N = 84K\n{}", phi_bench::fig9_render());
+    println!(
+        "Fig. 9 — hybrid HPL profile, 2x2 nodes, 2 cards, N = 84K\n{}",
+        phi_bench::fig9_render()
+    );
 }

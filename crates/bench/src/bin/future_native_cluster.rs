@@ -2,16 +2,27 @@
 //! of Knights Corners with the hosts asleep, plus the energy comparison
 //! the conclusion argues for.
 use phi_hpl::energy::{compare_designs, PowerModel};
-use phi_hpl::native::NativeClusterConfig;
 use phi_hpl::native::cluster::simulate_native_cluster;
+use phi_hpl::native::NativeClusterConfig;
 
 fn main() {
     println!("Fully-native multi-node Linpack (future work, Section VII)\n");
     println!("{:>8} {:>6} {:>10} {:>8}", "N", "cards", "GFLOPS", "eff");
-    for (n, side) in [(30_000usize, 1usize), (60_000, 2), (120_000, 4), (300_000, 10)] {
+    for (n, side) in [
+        (30_000usize, 1usize),
+        (60_000, 2),
+        (120_000, 4),
+        (300_000, 10),
+    ] {
         let cfg = NativeClusterConfig::new(n, side, side);
         let r = simulate_native_cluster(&cfg);
-        println!("{:>8} {:>6} {:>10.0} {:>7.1}%", n, side * side, r.gflops, 100.0 * r.efficiency());
+        println!(
+            "{:>8} {:>6} {:>10.0} {:>7.1}%",
+            n,
+            side * side,
+            r.gflops,
+            100.0 * r.efficiency()
+        );
     }
     println!("\nEnergy efficiency on 4 nodes (2x2):");
     let power = PowerModel::default();
@@ -23,7 +34,9 @@ fn main() {
     ] {
         println!(
             "  {label}: {:>8.0} GFLOPS at {:>4.0} W/node -> {:.2} GFLOPS/W",
-            p.gflops, watts_label, p.gflops_per_watt()
+            p.gflops,
+            watts_label,
+            p.gflops_per_watt()
         );
     }
     println!("\nThe native design wins GFLOPS/W (the conclusion's argument) but is");

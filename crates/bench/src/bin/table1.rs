@@ -1,4 +1,7 @@
 //! Regenerates Table I (system configurations).
 fn main() {
-    println!("Table I — system configurations\n{}", phi_bench::table1_render());
+    println!(
+        "Table I — system configurations\n{}",
+        phi_bench::table1_render()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Table II (SGEMM/DGEMM efficiency vs k, M = N = 28,000).
 fn main() {
-    println!("Table II — GEMM efficiency vs k\n{}", phi_bench::table2_render());
+    println!(
+        "Table II — GEMM efficiency vs k\n{}",
+        phi_bench::table2_render()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Table III (node- and cluster-level HPL results).
 fn main() {
-    println!("Table III — HPL performance\n{}", phi_bench::table3_render());
+    println!(
+        "Table III — HPL performance\n{}",
+        phi_bench::table3_render()
+    );
 }

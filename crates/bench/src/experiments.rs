@@ -395,7 +395,10 @@ pub fn fig9_render() -> String {
             format!("{:.1}%", 100.0 * b.three_exposed / b.stage_time),
             format!("{:.3}", p.stage_time),
             format!("{:.1}%", 100.0 * p.three_exposed / p.stage_time),
-            format!("{:.1}%", 100.0 * (b.stage_time - p.stage_time) / b.stage_time),
+            format!(
+                "{:.1}%",
+                100.0 * (b.stage_time - p.stage_time) / b.stage_time
+            ),
         ]);
     }
     format!(
@@ -447,12 +450,20 @@ pub fn fig11_series(sizes: &[usize]) -> Vec<Fig11Point> {
 
 /// Default Fig. 11 sizes.
 pub fn fig11_default_sizes() -> Vec<usize> {
-    vec![10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 82_000]
+    vec![
+        10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 82_000,
+    ]
 }
 
 /// Renders Fig. 11.
 pub fn fig11_render() -> String {
-    let mut t = TextTable::new(["M=N", "1 card GF", "1 card eff", "2 cards GF", "2 cards eff"]);
+    let mut t = TextTable::new([
+        "M=N",
+        "1 card GF",
+        "1 card eff",
+        "2 cards GF",
+        "2 cards eff",
+    ]);
     for p in fig11_series(&fig11_default_sizes()) {
         t.row([
             p.n.to_string(),
@@ -503,24 +514,174 @@ pub fn table3_rows() -> Vec<Table3Row> {
     }
     let rows = [
         // CPU-only MKL MP Linpack.
-        Spec { label: "Sandy Bridge EP, 64GB", n: 84_000, p: 1, q: 1, cards: 0, la: Lookahead::Basic, mem: 64.0, paper_tf: 0.29, paper_eff: 0.864 },
-        Spec { label: "Sandy Bridge EP, 64GB", n: 168_000, p: 2, q: 2, cards: 0, la: Lookahead::Basic, mem: 64.0, paper_tf: 1.10, paper_eff: 0.828 },
+        Spec {
+            label: "Sandy Bridge EP, 64GB",
+            n: 84_000,
+            p: 1,
+            q: 1,
+            cards: 0,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 0.29,
+            paper_eff: 0.864,
+        },
+        Spec {
+            label: "Sandy Bridge EP, 64GB",
+            n: 168_000,
+            p: 2,
+            q: 2,
+            cards: 0,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 1.10,
+            paper_eff: 0.828,
+        },
         // One card.
-        Spec { label: "no pipeline, 1 card, 64GB", n: 84_000, p: 1, q: 1, cards: 1, la: Lookahead::Basic, mem: 64.0, paper_tf: 0.99, paper_eff: 0.710 },
-        Spec { label: "pipeline, 1 card, 64GB", n: 84_000, p: 1, q: 1, cards: 1, la: Lookahead::Pipelined, mem: 64.0, paper_tf: 1.12, paper_eff: 0.798 },
-        Spec { label: "no pipeline, 1 card, 64GB", n: 168_000, p: 2, q: 2, cards: 1, la: Lookahead::Basic, mem: 64.0, paper_tf: 3.88, paper_eff: 0.691 },
-        Spec { label: "pipeline, 1 card, 64GB", n: 168_000, p: 2, q: 2, cards: 1, la: Lookahead::Pipelined, mem: 64.0, paper_tf: 4.36, paper_eff: 0.776 },
-        Spec { label: "no pipeline, 1 card, 64GB", n: 825_000, p: 10, q: 10, cards: 1, la: Lookahead::Basic, mem: 64.0, paper_tf: 95.2, paper_eff: 0.677 },
-        Spec { label: "pipeline, 1 card, 64GB", n: 825_000, p: 10, q: 10, cards: 1, la: Lookahead::Pipelined, mem: 64.0, paper_tf: 107.0, paper_eff: 0.761 },
+        Spec {
+            label: "no pipeline, 1 card, 64GB",
+            n: 84_000,
+            p: 1,
+            q: 1,
+            cards: 1,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 0.99,
+            paper_eff: 0.710,
+        },
+        Spec {
+            label: "pipeline, 1 card, 64GB",
+            n: 84_000,
+            p: 1,
+            q: 1,
+            cards: 1,
+            la: Lookahead::Pipelined,
+            mem: 64.0,
+            paper_tf: 1.12,
+            paper_eff: 0.798,
+        },
+        Spec {
+            label: "no pipeline, 1 card, 64GB",
+            n: 168_000,
+            p: 2,
+            q: 2,
+            cards: 1,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 3.88,
+            paper_eff: 0.691,
+        },
+        Spec {
+            label: "pipeline, 1 card, 64GB",
+            n: 168_000,
+            p: 2,
+            q: 2,
+            cards: 1,
+            la: Lookahead::Pipelined,
+            mem: 64.0,
+            paper_tf: 4.36,
+            paper_eff: 0.776,
+        },
+        Spec {
+            label: "no pipeline, 1 card, 64GB",
+            n: 825_000,
+            p: 10,
+            q: 10,
+            cards: 1,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 95.2,
+            paper_eff: 0.677,
+        },
+        Spec {
+            label: "pipeline, 1 card, 64GB",
+            n: 825_000,
+            p: 10,
+            q: 10,
+            cards: 1,
+            la: Lookahead::Pipelined,
+            mem: 64.0,
+            paper_tf: 107.0,
+            paper_eff: 0.761,
+        },
         // Two cards.
-        Spec { label: "no pipeline, 2 cards, 64GB", n: 84_000, p: 1, q: 1, cards: 2, la: Lookahead::Basic, mem: 64.0, paper_tf: 1.66, paper_eff: 0.682 },
-        Spec { label: "pipeline, 2 cards, 64GB", n: 84_000, p: 1, q: 1, cards: 2, la: Lookahead::Pipelined, mem: 64.0, paper_tf: 1.87, paper_eff: 0.766 },
-        Spec { label: "no pipeline, 2 cards, 64GB", n: 166_000, p: 2, q: 2, cards: 2, la: Lookahead::Basic, mem: 64.0, paper_tf: 6.36, paper_eff: 0.650 },
-        Spec { label: "pipeline, 2 cards, 64GB", n: 166_000, p: 2, q: 2, cards: 2, la: Lookahead::Pipelined, mem: 64.0, paper_tf: 7.15, paper_eff: 0.731 },
-        Spec { label: "no pipeline, 2 cards, 64GB", n: 822_000, p: 10, q: 10, cards: 2, la: Lookahead::Basic, mem: 64.0, paper_tf: 156.5, paper_eff: 0.640 },
-        Spec { label: "pipeline, 2 cards, 64GB", n: 822_000, p: 10, q: 10, cards: 2, la: Lookahead::Pipelined, mem: 64.0, paper_tf: 175.8, paper_eff: 0.719 },
+        Spec {
+            label: "no pipeline, 2 cards, 64GB",
+            n: 84_000,
+            p: 1,
+            q: 1,
+            cards: 2,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 1.66,
+            paper_eff: 0.682,
+        },
+        Spec {
+            label: "pipeline, 2 cards, 64GB",
+            n: 84_000,
+            p: 1,
+            q: 1,
+            cards: 2,
+            la: Lookahead::Pipelined,
+            mem: 64.0,
+            paper_tf: 1.87,
+            paper_eff: 0.766,
+        },
+        Spec {
+            label: "no pipeline, 2 cards, 64GB",
+            n: 166_000,
+            p: 2,
+            q: 2,
+            cards: 2,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 6.36,
+            paper_eff: 0.650,
+        },
+        Spec {
+            label: "pipeline, 2 cards, 64GB",
+            n: 166_000,
+            p: 2,
+            q: 2,
+            cards: 2,
+            la: Lookahead::Pipelined,
+            mem: 64.0,
+            paper_tf: 7.15,
+            paper_eff: 0.731,
+        },
+        Spec {
+            label: "no pipeline, 2 cards, 64GB",
+            n: 822_000,
+            p: 10,
+            q: 10,
+            cards: 2,
+            la: Lookahead::Basic,
+            mem: 64.0,
+            paper_tf: 156.5,
+            paper_eff: 0.640,
+        },
+        Spec {
+            label: "pipeline, 2 cards, 64GB",
+            n: 822_000,
+            p: 10,
+            q: 10,
+            cards: 2,
+            la: Lookahead::Pipelined,
+            mem: 64.0,
+            paper_tf: 175.8,
+            paper_eff: 0.719,
+        },
         // Doubled host memory.
-        Spec { label: "pipeline, 1 card, 128GB", n: 242_000, p: 2, q: 2, cards: 1, la: Lookahead::Pipelined, mem: 128.0, paper_tf: 4.42, paper_eff: 0.796 },
+        Spec {
+            label: "pipeline, 1 card, 128GB",
+            n: 242_000,
+            p: 2,
+            q: 2,
+            cards: 1,
+            la: Lookahead::Pipelined,
+            mem: 128.0,
+            paper_tf: 4.42,
+            paper_eff: 0.796,
+        },
     ];
     rows.iter()
         .map(|s| {
@@ -545,7 +706,14 @@ pub fn table3_rows() -> Vec<Table3Row> {
 /// Renders Table III.
 pub fn table3_render() -> String {
     let mut t = TextTable::new([
-        "system", "N", "P", "Q", "TFLOPS", "eff", "paper TF", "paper eff",
+        "system",
+        "N",
+        "P",
+        "Q",
+        "TFLOPS",
+        "eff",
+        "paper TF",
+        "paper eff",
     ]);
     for r in table3_rows() {
         t.row([
@@ -665,8 +833,14 @@ mod tests {
             }
         }
         // Cluster efficiency below single node for the same config.
-        let single = rows.iter().find(|r| r.system == "pipeline, 1 card, 64GB" && r.p == 1).unwrap();
-        let cluster = rows.iter().find(|r| r.system == "pipeline, 1 card, 64GB" && r.p == 10).unwrap();
+        let single = rows
+            .iter()
+            .find(|r| r.system == "pipeline, 1 card, 64GB" && r.p == 1)
+            .unwrap();
+        let cluster = rows
+            .iter()
+            .find(|r| r.system == "pipeline, 1 card, 64GB" && r.p == 10)
+            .unwrap();
         assert!(cluster.eff < single.eff);
     }
 

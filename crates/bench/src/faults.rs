@@ -1,0 +1,198 @@
+//! The fault campaign: degraded-vs-healthy hybrid Linpack under seeded,
+//! replayable fault plans — the robustness companion to the paper's
+//! Table III. Every scenario runs through the fault-tolerant cluster
+//! simulator; the renderer closes with a replay check that re-runs one
+//! campaign and verifies bit-identity.
+
+use crate::TextTable;
+use phi_fabric::ProcessGrid;
+use phi_faults::{FaultKind, FaultPlan};
+use phi_hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use phi_hpl::{simulate_cluster_faulty, FtPolicy};
+
+/// One campaign scenario's degraded-vs-healthy outcome.
+#[derive(Clone, Debug)]
+pub struct CampaignRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Scheduled fault events.
+    pub events: usize,
+    /// Cards permanently lost.
+    pub cards_lost: usize,
+    /// Degraded wall time, seconds.
+    pub time_s: f64,
+    /// Healthy wall time of the same configuration, seconds.
+    pub healthy_s: f64,
+    /// Degraded GFLOPS.
+    pub gflops: f64,
+    /// Checkpoint time paid, seconds.
+    pub checkpoint_s: f64,
+    /// Recovery (restore + re-division) time, seconds.
+    pub recovery_s: f64,
+    /// Replay-identity fingerprint of the whole run.
+    pub fingerprint: u64,
+}
+
+impl CampaignRow {
+    /// Fractional slowdown versus the healthy run.
+    pub fn overhead(&self) -> f64 {
+        self.time_s / self.healthy_s - 1.0
+    }
+}
+
+fn paper_node() -> HybridConfig {
+    let mut cfg = HybridConfig::new(30_000, ProcessGrid::new(1, 1), 1);
+    cfg.lookahead = Lookahead::Pipelined;
+    cfg
+}
+
+fn run(cfg: &HybridConfig, label: &str, plan: &FaultPlan, policy: &FtPolicy) -> CampaignRow {
+    let out = simulate_cluster_faulty(cfg, plan, policy, false);
+    let f = out
+        .result
+        .report
+        .faults
+        .expect("faulty runs carry accounting");
+    CampaignRow {
+        scenario: label.to_string(),
+        events: f.events,
+        cards_lost: f.cards_lost,
+        time_s: out.result.report.time_s,
+        healthy_s: f.healthy_time_s,
+        gflops: out.result.report.gflops,
+        checkpoint_s: f.checkpoint_s,
+        recovery_s: f.recovery_s,
+        fingerprint: out.run_fingerprint(),
+    }
+}
+
+/// Runs the canonical scenario set on the paper's single-node hybrid
+/// configuration, plus three seeded random campaigns derived from
+/// `seed`.
+pub fn fault_campaign_rows(seed: u64) -> Vec<CampaignRow> {
+    let cfg = paper_node();
+    let healthy = simulate_cluster(&cfg, false).report.time_s;
+    let none = FtPolicy::none();
+    let ckpt = FtPolicy::default();
+
+    let mut rows = vec![
+        run(&cfg, "healthy (zero-fault plan)", &FaultPlan::none(), &none),
+        run(
+            &cfg,
+            "straggler 30% cores x2, mid-run",
+            &FaultPlan::none().with_event(
+                healthy * 0.3,
+                FaultKind::Straggler {
+                    core_fraction: 0.3,
+                    slowdown: 2.0,
+                    duration_s: healthy * 0.3,
+                },
+            ),
+            &none,
+        ),
+        run(
+            &cfg,
+            "PCIe CRC storm, mid-run",
+            &FaultPlan::none().with_event(
+                healthy * 0.3,
+                FaultKind::PcieCrcStorm {
+                    stall_s: 2e-4,
+                    duration_s: healthy * 0.3,
+                },
+            ),
+            &none,
+        ),
+        run(
+            &cfg,
+            "card death @ T/3, replay recovery",
+            &FaultPlan::none().with_event(healthy / 3.0, FaultKind::CardDeath { card: 0 }),
+            &none,
+        ),
+        run(
+            &cfg,
+            "card death @ T/3, checkpointed",
+            &FaultPlan::none().with_event(healthy / 3.0, FaultKind::CardDeath { card: 0 }),
+            &ckpt,
+        ),
+    ];
+    for i in 0..3 {
+        let s = seed.wrapping_add(i);
+        rows.push(run(
+            &cfg,
+            &format!("campaign seed {s:#x}"),
+            &FaultPlan::campaign(s, healthy * 1.5, 5),
+            &ckpt,
+        ));
+    }
+    rows
+}
+
+/// Renders the campaign table and the replay determinism check.
+pub fn fault_campaign_render(seed: u64) -> String {
+    let rows = fault_campaign_rows(seed);
+    let mut t = TextTable::new([
+        "scenario", "events", "lost", "t(s)", "healthy", "GFLOPS", "ovhd", "ckpt(s)", "rec(s)",
+    ]);
+    for r in &rows {
+        t.row([
+            r.scenario.clone(),
+            r.events.to_string(),
+            r.cards_lost.to_string(),
+            format!("{:.2}", r.time_s),
+            format!("{:.2}", r.healthy_s),
+            format!("{:.0}", r.gflops),
+            format!("{:+.1}%", 100.0 * r.overhead()),
+            format!("{:.2}", r.checkpoint_s),
+            format!("{:.2}", r.recovery_s),
+        ]);
+    }
+
+    // Replay check: the same seed must reproduce the same run, bit for
+    // bit — re-run the first seeded campaign and compare fingerprints.
+    let cfg = paper_node();
+    let healthy = simulate_cluster(&cfg, false).report.time_s;
+    let plan = FaultPlan::campaign(seed, healthy * 1.5, 5);
+    let a = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+    let b = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+    let verdict = if a.run_fingerprint() == b.run_fingerprint() {
+        "bit-identical"
+    } else {
+        "MISMATCH"
+    };
+    format!(
+        "{}\nreplay check (seed {seed:#x}): {:#018x} vs {:#018x} — {verdict}\n",
+        t.render(),
+        a.run_fingerprint(),
+        b.run_fingerprint(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_table_is_deterministic_and_ordered() {
+        let one = fault_campaign_rows(0xCA11);
+        let two = fault_campaign_rows(0xCA11);
+        assert_eq!(one.len(), two.len());
+        for (a, b) in one.iter().zip(&two) {
+            assert_eq!(a.fingerprint, b.fingerprint, "{}", a.scenario);
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+        }
+        // The zero-fault row matches the healthy baseline exactly and the
+        // card-death rows are the slowest.
+        assert!((one[0].overhead()).abs() < 1e-12);
+        assert!(one[3].time_s > one[1].time_s);
+        assert_eq!(one[3].cards_lost, 1);
+        // Checkpointing caps recovery relative to replaying lost work.
+        assert!(one[4].recovery_s <= one[3].recovery_s);
+    }
+
+    #[test]
+    fn render_reports_bit_identical_replay() {
+        let text = fault_campaign_render(0xBEEF);
+        assert!(text.contains("bit-identical"), "{text}");
+        assert!(!text.contains("MISMATCH"), "{text}");
+    }
+}

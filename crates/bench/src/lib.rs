@@ -11,8 +11,10 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod faults;
 pub mod format;
 
 pub use experiments::*;
+pub use faults::{fault_campaign_render, fault_campaign_rows, CampaignRow};
 pub use format::TextTable;
 pub use phi_hpl::native::NativeScheme;

@@ -144,11 +144,7 @@ mod tests {
             &BlockSizes::default(),
         );
         let got = ColMajor::new(&cbuf, m, n, ldc).to_rowmajor();
-        assert!(
-            got.approx_eq(&cr, 1e-11),
-            "diff {}",
-            got.max_abs_diff(&cr)
-        );
+        assert!(got.approx_eq(&cr, 1e-11), "diff {}", got.max_abs_diff(&cr));
     }
 
     #[test]

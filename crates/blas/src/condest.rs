@@ -21,16 +21,16 @@ pub fn solve_transposed<T: Scalar>(f: &LuFactors<T>, b: &[T]) -> Vec<T> {
     // Uᵀ y = b: Uᵀ is lower triangular with U's diagonal.
     for i in 0..n {
         let mut acc = x[i];
-        for p in 0..i {
-            acc = acc - f.lu[(p, i)] * x[p]; // Uᵀ[i,p] = U[p,i]
+        for (p, &xp) in x.iter().enumerate().take(i) {
+            acc -= f.lu[(p, i)] * xp; // Uᵀ[i,p] = U[p,i]
         }
         x[i] = acc / f.lu[(i, i)];
     }
     // Lᵀ z = y: Lᵀ is unit upper triangular.
     for i in (0..n).rev() {
         let mut acc = x[i];
-        for p in i + 1..n {
-            acc = acc - f.lu[(p, i)] * x[p]; // Lᵀ[i,p] = L[p,i]
+        for (p, &xp) in x.iter().enumerate().skip(i + 1) {
+            acc -= f.lu[(p, i)] * xp; // Lᵀ[i,p] = L[p,i]
         }
         x[i] = acc;
     }
@@ -60,13 +60,7 @@ pub fn inverse_norm1_estimate<T: Scalar>(f: &LuFactors<T>, max_iter: usize) -> f
         // xi = sign(y)
         let xi: Vec<T> = y
             .iter()
-            .map(|v| {
-                if v.to_f64() >= 0.0 {
-                    T::ONE
-                } else {
-                    -T::ONE
-                }
-            })
+            .map(|v| if v.to_f64() >= 0.0 { T::ONE } else { -T::ONE })
             .collect();
         // z = A⁻ᵀ xi
         let z = solve_transposed(f, &xi);
@@ -158,7 +152,10 @@ mod tests {
             let f = factor(&a);
             let est = condest_1(&a, &f);
             let exact = exact_cond1(&a, &f);
-            assert!(est <= exact * 1.0001, "estimate exceeds exact: {est} vs {exact}");
+            assert!(
+                est <= exact * 1.0001,
+                "estimate exceeds exact: {est} vs {exact}"
+            );
             assert!(est >= exact / 10.0, "estimate too low: {est} vs {exact}");
         }
     }

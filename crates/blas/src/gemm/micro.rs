@@ -98,19 +98,19 @@ fn run<T: Scalar, const MR: usize, const NR: usize>(
     // out tile padding via the window's true shape.
     let live_r = c.rows().min(MR);
     let live_c = c.cols().min(NR);
-    for i in 0..live_r {
+    for (i, acc_row) in acc.iter().enumerate().take(live_r) {
         let row = c.row_mut(i);
         if beta == T::ZERO {
             for j in 0..live_c {
-                row[j] = alpha * acc[i][j];
+                row[j] = alpha * acc_row[j];
             }
         } else if beta == T::ONE {
             for j in 0..live_c {
-                row[j] = alpha.mul_add(acc[i][j], row[j]);
+                row[j] = alpha.mul_add(acc_row[j], row[j]);
             }
         } else {
             for j in 0..live_c {
-                row[j] = alpha * acc[i][j] + beta * row[j];
+                row[j] = alpha * acc_row[j] + beta * row[j];
             }
         }
     }

@@ -44,8 +44,8 @@ pub fn trsv_lower<T: Scalar>(l: &MatrixView<'_, T>, x: &mut [T], unit: bool) {
     assert_eq!(x.len(), n, "trsv: x length");
     for i in 0..n {
         let mut acc = x[i];
-        for j in 0..i {
-            acc -= l.at(i, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().take(i) {
+            acc -= l.at(i, j) * xj;
         }
         x[i] = if unit { acc } else { acc / l.at(i, i) };
     }
@@ -59,8 +59,8 @@ pub fn trsv_upper<T: Scalar>(u: &MatrixView<'_, T>, x: &mut [T]) {
     assert_eq!(x.len(), n, "trsv: x length");
     for i in (0..n).rev() {
         let mut acc = x[i];
-        for j in i + 1..n {
-            acc -= u.at(i, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            acc -= u.at(i, j) * xj;
         }
         x[i] = acc / u.at(i, i);
     }
@@ -74,12 +74,7 @@ mod tests {
     #[test]
     fn ger_rank1() {
         let mut a = Matrix::<f64>::zeros(2, 3);
-        ger(
-            2.0,
-            &[1.0, 2.0],
-            &[3.0, 4.0, 5.0],
-            &mut a.view_mut(),
-        );
+        ger(2.0, &[1.0, 2.0], &[3.0, 4.0, 5.0], &mut a.view_mut());
         assert_eq!(a.row(0), &[6.0, 8.0, 10.0]);
         assert_eq!(a.row(1), &[12.0, 16.0, 20.0]);
     }

@@ -167,7 +167,8 @@ pub fn getrf<T: Scalar>(
 
             // 3. Forward solve the row panel: U12 := L11^{-1} A12.
             //    L11 is the unit-lower jb×jb block of the factored panel.
-            let (panel_rows, mut right_all) = a.reborrow().into_sub(j, j, m - j, n - j).split_cols_mut(jb);
+            let (panel_rows, mut right_all) =
+                a.reborrow().into_sub(j, j, m - j, n - j).split_cols_mut(jb);
             let l11 = panel_rows.as_view().sub(0, 0, jb, jb);
             {
                 let mut u12 = right_all.sub_mut(0, 0, jb, n - j - jb);
@@ -314,11 +315,7 @@ mod tests {
     #[test]
     fn pivots_actually_pivot() {
         // First column forces a swap: |a[2,0]| is the largest.
-        let a = Matrix::<f64>::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 5.0, 1.0],
-            &[-9.0, 1.0, 4.0],
-        ]);
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 5.0, 1.0], &[-9.0, 1.0, 4.0]]);
         let mut f = a.clone();
         let mut piv = Vec::new();
         getf2(&mut f.view_mut(), &mut piv, 0).unwrap();

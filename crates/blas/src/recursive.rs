@@ -118,7 +118,12 @@ mod tests {
 
     #[test]
     fn recursive_matches_unblocked_exactly() {
-        for (m, n, leaf) in [(24usize, 24usize, 4usize), (40, 16, 2), (33, 20, 8), (16, 16, 16)] {
+        for (m, n, leaf) in [
+            (24usize, 24usize, 4usize),
+            (40, 16, 2),
+            (33, 20, 8),
+            (16, 16, 16),
+        ] {
             let a0 = MatGen::new((m * n) as u64).matrix::<f64>(m, n);
             let mut rec = a0.clone();
             let mut piv_rec = Vec::new();

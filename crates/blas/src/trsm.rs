@@ -85,8 +85,8 @@ pub fn trsm_right_upper<T: Scalar>(u: &MatrixView<'_, T>, b: &mut MatrixViewMut<
         let row = b.row_mut(i);
         for j in 0..n {
             let mut acc = row[j];
-            for p in 0..j {
-                acc -= row[p] * u.at(p, j);
+            for (p, &rp) in row.iter().enumerate().take(j) {
+                acc -= rp * u.at(p, j);
             }
             let diag = u.at(j, j);
             assert!(diag != T::ZERO, "trsm: zero diagonal at {j}");

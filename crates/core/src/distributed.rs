@@ -26,7 +26,82 @@ use phi_blas::lu::{getf2, LuError, LuFactors};
 use phi_blas::trsm::trsm_left_lower_unit;
 use phi_fabric::ProcessGrid;
 use phi_matrix::{Matrix, Scalar};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// What one rank produces: its local columns plus the per-panel pivot
+/// vectors of the panels it factored.
+type RankOutput<T> = (Matrix<T>, Vec<(usize, Vec<usize>)>);
+
+/// Why a distributed factorization stopped early.
+///
+/// Every rank returns the same `DistError` for a given failure: numeric
+/// errors are broadcast as poison pills, and a vanished peer is detected
+/// locally by the recv timeout, so no rank ever blocks forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistError {
+    /// The factorization itself failed (singular panel somewhere).
+    Numeric(LuError),
+    /// A peer stopped sending: `rank` waited through every retry of its
+    /// recv timeout without a panel or an abort pill arriving.
+    PeerLost {
+        /// The rank that gave up waiting.
+        rank: usize,
+        /// Recv attempts made before giving up.
+        attempts: u32,
+    },
+    /// All peer channels disconnected while `rank` still expected a
+    /// panel — the senders exited without broadcasting an abort.
+    Disconnected {
+        /// The rank that observed the hangup.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            DistError::PeerLost { rank, attempts } => {
+                write!(f, "rank {rank} timed out after {attempts} recv attempts")
+            }
+            DistError::Disconnected { rank } => {
+                write!(f, "rank {rank}: all peer channels disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<LuError> for DistError {
+    fn from(e: LuError) -> Self {
+        DistError::Numeric(e)
+    }
+}
+
+/// Recv-timeout and retry policy for the rank main loops.
+///
+/// A healthy broadcast arrives in microseconds; the defaults are generous
+/// enough that only a genuinely dead peer trips them. Each retry doubles
+/// the wait (bounded exponential backoff), so the default policy blocks
+/// for at most `100ms · (2⁶ − 1) = 6.3 s` before declaring the peer lost.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvPolicy {
+    /// First recv timeout; doubled on every retry.
+    pub initial_timeout: Duration,
+    /// Total recv attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RecvPolicy {
+    fn default() -> Self {
+        Self {
+            initial_timeout: Duration::from_millis(100),
+            max_attempts: 6,
+        }
+    }
+}
 
 /// A broadcast panel: the factored column block and its pivots.
 struct PanelMsg<T: Scalar> {
@@ -44,7 +119,7 @@ struct PanelMsg<T: Scalar> {
 /// `recv`).
 enum Msg<T: Scalar> {
     Panel(PanelMsg<T>),
-    Abort(LuError),
+    Abort(DistError),
 }
 
 /// Per-rank state for the distributed factorization.
@@ -59,6 +134,7 @@ struct Rank<T: Scalar> {
     my_panels: Vec<usize>,
     to_peers: Vec<Sender<Msg<T>>>,
     from_peers: Receiver<Msg<T>>,
+    policy: RecvPolicy,
 }
 
 impl<T: Scalar> Rank<T> {
@@ -75,20 +151,48 @@ impl<T: Scalar> Rank<T> {
         self.nb.min(self.n - j * self.nb)
     }
 
-    /// Tells every peer to abort with `err`.
-    fn broadcast_abort(&self, err: LuError) {
+    /// Tells every peer to abort with `err`. Infallible by construction:
+    /// a peer that already exited has dropped its receiver, and that is
+    /// fine — it no longer needs the pill. No send outcome is ever
+    /// unwrapped, so a half-dead grid cannot panic the survivors.
+    fn broadcast_abort(&self, err: DistError) {
         for (peer, tx) in self.to_peers.iter().enumerate() {
             if peer != self.q {
-                // A peer that already exited has dropped its receiver;
-                // that is fine — it no longer needs the pill.
                 let _ = tx.send(Msg::Abort(err));
             }
         }
     }
 
+    /// Receives the next message, retrying with exponential backoff per
+    /// [`RecvPolicy`]. Returns an error — never blocks forever — if the
+    /// peers hang up or stay silent through every attempt; either way the
+    /// failure is re-broadcast so the rest of the grid unblocks too.
+    fn recv_with_retry(&self) -> Result<Msg<T>, DistError> {
+        let mut wait = self.policy.initial_timeout;
+        for _ in 0..self.policy.max_attempts {
+            match self.from_peers.recv_timeout(wait) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Timeout) => {
+                    wait = wait.saturating_mul(2);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let err = DistError::Disconnected { rank: self.q };
+                    self.broadcast_abort(err);
+                    return Err(err);
+                }
+            }
+        }
+        let err = DistError::PeerLost {
+            rank: self.q,
+            attempts: self.policy.max_attempts,
+        };
+        self.broadcast_abort(err);
+        Err(err)
+    }
+
     /// Factors local panel `j` and broadcasts it; returns the message
     /// retained locally.
-    fn factor_and_bcast(&mut self, j: usize) -> Result<PanelMsg<T>, LuError> {
+    fn factor_and_bcast(&mut self, j: usize) -> Result<PanelMsg<T>, DistError> {
         let r0 = j * self.nb;
         let w = self.panel_width(j);
         let lc = self.local_col_of(j);
@@ -96,8 +200,9 @@ impl<T: Scalar> Rank<T> {
         {
             let mut panel = self.local.sub_mut(r0, lc, self.n - r0, w);
             if let Err(e) = getf2(&mut panel, &mut ipiv, r0) {
-                self.broadcast_abort(e);
-                return Err(e);
+                let err = DistError::Numeric(e);
+                self.broadcast_abort(err);
+                return Err(err);
             }
         }
         // Left fixup only: panels g < j are fully factored and never
@@ -157,20 +262,15 @@ impl<T: Scalar> Rank<T> {
         // A22 -= L21 · U12.
         if r0 + pw < self.n {
             let l21 = msg.data.sub(pw, 0, self.n - r0 - pw, pw);
-            let u12 = self
-                .local
-                .sub(r0, slot_col, pw, gw)
-                .to_matrix();
-            let mut a22 = self
-                .local
-                .sub_mut(r0 + pw, slot_col, self.n - r0 - pw, gw);
+            let u12 = self.local.sub(r0, slot_col, pw, gw).to_matrix();
+            let mut a22 = self.local.sub_mut(r0 + pw, slot_col, self.n - r0 - pw, gw);
             gemm_with(-T::ONE, &l21, &u12.view(), T::ONE, &mut a22, bs);
         }
     }
 
     /// The rank's main loop. Returns (local columns, per-panel pivots of
     /// the panels this rank factored).
-    fn run(mut self, bs: &BlockSizes) -> Result<(Matrix<T>, Vec<(usize, Vec<usize>)>), LuError> {
+    fn run(mut self, bs: &BlockSizes) -> Result<RankOutput<T>, DistError> {
         let npanels = self.n.div_ceil(self.nb);
         let mut my_pivots = Vec::new();
         // Panels received/retained, indexed by global panel id.
@@ -188,7 +288,7 @@ impl<T: Scalar> Rank<T> {
                     have[j] = Some(msg);
                 } else {
                     loop {
-                        match self.from_peers.recv().expect("sender alive") {
+                        match self.recv_with_retry()? {
                             Msg::Abort(e) => return Err(e),
                             Msg::Panel(msg) => {
                                 let idx = msg.j;
@@ -211,8 +311,7 @@ impl<T: Scalar> Rank<T> {
                 for (slot, &g) in self.my_panels.clone().iter().enumerate() {
                     if g < j {
                         let gw = self.panel_width(g);
-                        let mut cols =
-                            self.local.sub_mut(r0, slot * self.nb, self.n - r0, gw);
+                        let mut cols = self.local.sub_mut(r0, slot * self.nb, self.n - r0, gw);
                         laswp_forward(&mut cols, &msg.ipiv);
                     }
                 }
@@ -248,12 +347,22 @@ pub struct DistributedLu<T: Scalar> {
 
 /// Factors `a` on a `1 × q` grid of real threads with block-cyclic column
 /// distribution, panel broadcast and look-ahead. Returns factors that
-/// match the sequential reference.
+/// match the sequential reference. Uses the default [`RecvPolicy`].
 pub fn factorize_distributed<T: Scalar>(
     a: &Matrix<T>,
     nb: usize,
     q: usize,
-) -> Result<DistributedLu<T>, LuError> {
+) -> Result<DistributedLu<T>, DistError> {
+    factorize_distributed_with(a, nb, q, RecvPolicy::default())
+}
+
+/// [`factorize_distributed`] with an explicit recv-timeout policy.
+pub fn factorize_distributed_with<T: Scalar>(
+    a: &Matrix<T>,
+    nb: usize,
+    q: usize,
+    policy: RecvPolicy,
+) -> Result<DistributedLu<T>, DistError> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "square systems only");
     assert!(nb > 0 && q > 0);
@@ -290,20 +399,19 @@ pub fn factorize_distributed<T: Scalar>(
             my_panels,
             to_peers: txs.clone(),
             from_peers: rx,
+            policy,
         });
     }
     drop(txs);
 
     let bs = BlockSizes::default();
-    let results: Vec<Result<(Matrix<T>, Vec<(usize, Vec<usize>)>), LuError>> =
-        crossbeam::scope(|s| {
-            let handles: Vec<_> = ranks
-                .into_iter()
-                .map(|r| s.spawn(move |_| r.run(&bs)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+    let results: Vec<Result<RankOutput<T>, DistError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|r| s.spawn(move || r.run(&bs)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
 
     // Reassemble the global factored matrix and the pivot sequence.
     let mut lu = Matrix::<T>::zeros(n, n);
@@ -384,6 +492,91 @@ mod tests {
             a[(i, 20)] = 0.0; // panel 1 with nb = 16
         }
         let err = factorize_distributed(&a, 16, 3).unwrap_err();
-        assert!(matches!(err, LuError::Singular { col: 20 }));
+        assert!(matches!(
+            err,
+            DistError::Numeric(LuError::Singular { col: 20 })
+        ));
+    }
+
+    /// Satellite regression: a singular panel deep into the run (after
+    /// several healthy broadcast rounds) must abort *every* rank without
+    /// deadlock, even on a wide grid where most ranks are mid-`recv`.
+    /// Guarded by a watchdog so a deadlock fails fast instead of hanging
+    /// the suite.
+    #[test]
+    fn mid_run_singularity_aborts_all_ranks_without_deadlock() {
+        let n = 96;
+        let nb = 16; // 6 panels
+        let mut a = MatGen::new(61).matrix::<f64>(n, n);
+        for i in 0..n {
+            a[(i, 70)] = 0.0; // panel 4: stages 0..3 complete first
+        }
+        let (tx, rx) = channel();
+        std::thread::spawn(move || {
+            let r = factorize_distributed(&a, nb, 4);
+            let _ = tx.send(r);
+        });
+        let res = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("distributed abort deadlocked");
+        assert!(matches!(
+            res.unwrap_err(),
+            DistError::Numeric(LuError::Singular { col: 70 })
+        ));
+    }
+
+    /// A rank whose peer dies silently (no abort pill, no panel) must
+    /// give up after its bounded retries rather than block forever.
+    #[test]
+    fn dead_peer_trips_recv_timeout_not_deadlock() {
+        let n = 32;
+        let nb = 16;
+        let (tx, rx) = channel::<Msg<f64>>();
+        // Rank 1 owns panel 1 and waits for panel 0 from rank 0, which
+        // never sends: `tx` is kept alive so the channel stays open and
+        // the timeout (not the disconnect) path is exercised.
+        let rank = Rank::<f64> {
+            q: 1,
+            nb,
+            n,
+            local: Matrix::zeros(n, nb),
+            my_panels: vec![1],
+            to_peers: vec![],
+            from_peers: rx,
+            policy: RecvPolicy {
+                initial_timeout: Duration::from_millis(1),
+                max_attempts: 3,
+            },
+        };
+        let err = rank.run(&BlockSizes::default()).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::PeerLost {
+                rank: 1,
+                attempts: 3
+            }
+        );
+        drop(tx);
+    }
+
+    /// Peers that hang up without an abort pill surface `Disconnected`.
+    #[test]
+    fn hangup_without_abort_surfaces_disconnected() {
+        let n = 32;
+        let nb = 16;
+        let (tx, rx) = channel::<Msg<f64>>();
+        drop(tx); // sender gone before any message
+        let rank = Rank::<f64> {
+            q: 1,
+            nb,
+            n,
+            local: Matrix::zeros(n, nb),
+            my_panels: vec![1],
+            to_peers: vec![],
+            from_peers: rx,
+            policy: RecvPolicy::default(),
+        };
+        let err = rank.run(&BlockSizes::default()).unwrap_err();
+        assert_eq!(err, DistError::Disconnected { rank: 1 });
     }
 }

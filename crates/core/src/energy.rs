@@ -71,7 +71,10 @@ impl EnergyPoint {
 /// Evaluates the three designs on comparable per-device loads.
 ///
 /// `nodes` must be a perfect square (a √nodes × √nodes grid is used).
-pub fn compare_designs(nodes: usize, power: &PowerModel) -> (EnergyPoint, EnergyPoint, EnergyPoint) {
+pub fn compare_designs(
+    nodes: usize,
+    power: &PowerModel,
+) -> (EnergyPoint, EnergyPoint, EnergyPoint) {
     let side = (nodes as f64).sqrt() as usize;
     assert_eq!(side * side, nodes, "nodes must be a perfect square");
     let grid = ProcessGrid::new(side, side);

@@ -46,12 +46,10 @@ fn parse_count_then_list(
     idx: usize,
     what: &str,
 ) -> Result<(Vec<usize>, usize), ParseError> {
-    let (ln, count_line) = lines
-        .get(idx)
-        .ok_or(ParseError {
-            line: 0,
-            message: format!("missing '# of {what}' line"),
-        })?;
+    let (ln, count_line) = lines.get(idx).ok_or(ParseError {
+        line: 0,
+        message: format!("missing '# of {what}' line"),
+    })?;
     let count: usize = first_token(count_line).parse().map_err(|_| ParseError {
         line: *ln,
         message: format!("expected a count of {what}, got '{count_line}'"),

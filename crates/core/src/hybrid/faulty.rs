@@ -1,0 +1,527 @@
+//! Fault-tolerant hybrid cluster execution under an injected
+//! [`FaultPlan`].
+//!
+//! [`simulate_cluster_faulty`] mirrors [`super::simulate_cluster`]'s
+//! per-stage loop, but before each stage it samples the plan's aggregate
+//! [`Effects`] over the stage's time window and perturbs the calibrated
+//! machine models accordingly:
+//!
+//! * **Link degradation / latency jitter** — the stage's [`NetModel`] is
+//!   replaced by [`NetModel::degraded`], slowing the panel broadcast,
+//!   long swap and `U` broadcast.
+//! * **PCIe CRC-retry storms** — the offload model's [`PcieConfig`] is
+//!   replaced by [`PcieConfig::with_crc_stall`], with the per-DMA stall
+//!   amortized into a bandwidth derate at the strip-transfer cadence.
+//! * **Stragglers** — the card's [`KncChip`] is throttled through
+//!   [`KncChip::with_straggler`], dragging the trailing-update rate.
+//! * **Card death** — permanent. Deaths take effect at the next panel
+//!   boundary: the run pays a recovery cost (checkpoint restore, or
+//!   replay of the in-flight stage when checkpointing is off, plus the
+//!   §V re-division of work), then continues with fewer cards. When the
+//!   last card dies the update falls back to the host-only branch — the
+//!   paper's dynamic work-division rebalance with the card share forced
+//!   to zero — and the factorization still completes.
+//!
+//! Panel-granular checkpointing ([`FtPolicy::checkpoint_panels`]) adds
+//! its write cost to every stage; that is the premium paid for cheap
+//! recovery.
+//!
+//! **Determinism and the healthy identity.** Every perturbation reduces
+//! to `× 1.0` / `+ 0.0` under [`Effects::healthy`], so a run under
+//! [`FaultPlan::none`] (with [`FtPolicy::none`]) reproduces the
+//! unfaulted [`super::simulate_cluster`] *bit-identically* — and any
+//! plan replays bit-identically from its seed. Both properties are
+//! locked by tests.
+
+use super::{simulate_cluster, ClusterResult, HybridConfig, IterationProfile, Lookahead};
+use crate::report::{FaultSummary, GigaflopsReport};
+use phi_des::{Kind, Trace};
+use phi_faults::{Effects, FaultKind, FaultPlan};
+
+/// Fault-tolerance policy of the run: what the cluster pays up front
+/// (checkpoints) and what recovery costs when a card dies.
+#[derive(Clone, Copy, Debug)]
+pub struct FtPolicy {
+    /// Write a checkpoint of every factored panel (plus pivots) so a
+    /// card death only loses the in-flight stage's update, not the
+    /// whole factorization state.
+    pub checkpoint_panels: bool,
+    /// Bandwidth at which checkpoints are written, bytes/s (host memory
+    /// copy to a retained region; well above PCIe, below STREAM).
+    pub checkpoint_bw: f64,
+    /// Fixed cost of one §V dynamic work re-division after a card loss
+    /// (draining queues, re-partitioning tiles, re-arming DMA).
+    pub rebalance_s: f64,
+}
+
+impl FtPolicy {
+    /// No checkpointing: recovery must replay the lost stage.
+    pub fn none() -> Self {
+        Self {
+            checkpoint_panels: false,
+            checkpoint_bw: 8e9,
+            rebalance_s: 0.25,
+        }
+    }
+}
+
+impl Default for FtPolicy {
+    /// Panel checkpointing on, 8 GB/s checkpoint stream, 250 ms
+    /// re-division.
+    fn default() -> Self {
+        Self {
+            checkpoint_panels: true,
+            ..Self::none()
+        }
+    }
+}
+
+/// Outcome of a fault-injected cluster run.
+#[derive(Clone, Debug)]
+pub struct FaultyClusterResult {
+    /// The degraded run; `result.report.faults` carries the summary.
+    pub result: ClusterResult,
+    /// Span trace including [`Kind::Fault`] windows and
+    /// [`Kind::Recovery`] work (lane 0 host, lane 1 card, lane 2
+    /// faults).
+    pub trace: Trace,
+}
+
+impl FaultyClusterResult {
+    /// A replay fingerprint over the plan and the run's exact timing
+    /// bits: two runs are the same execution iff these are equal.
+    pub fn run_fingerprint(&self) -> u64 {
+        let r = &self.result.report;
+        let mut h = r
+            .faults
+            .map(|f| f.plan_fingerprint)
+            .unwrap_or(0xcbf29ce484222325);
+        for x in [r.time_s.to_bits(), r.gflops.to_bits()] {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+}
+
+/// Everything a stage costs, under a given card count and fault state.
+struct StageTimes {
+    stage_time: f64,
+    busy: f64,
+    update: f64,
+    three_exposed: f64,
+    panel_exposed: f64,
+}
+
+/// One stage of the hybrid loop — the same arithmetic as
+/// [`super::simulate_cluster`], parameterized by the surviving card
+/// count and the stage's aggregate fault effects. With
+/// `cards_avail == cfg.cards_per_node` and healthy effects this is
+/// bit-identical to the unfaulted stage.
+fn stage_times(
+    cfg: &HybridConfig,
+    stage: usize,
+    s: usize,
+    cards_avail: usize,
+    eff: &Effects,
+) -> StageTimes {
+    let host = &cfg.offload.host;
+    let (p, q) = (cfg.grid.p, cfg.grid.q);
+    let host_cores = host.cfg.cores() as f64;
+    let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
+
+    let net = cfg.net.degraded(eff.net_bw_factor, eff.extra_latency_s);
+    // Perturb the offload model: CRC stalls amortized at the strip
+    // cadence, stragglers dragging the card clock.
+    let mut off = cfg.offload;
+    let typical_xfer_s = 8.0 * (cfg.nb * off.kt) as f64 / off.pcie.effective_bw;
+    let retry_fraction = (eff.pcie_stall_s / typical_xfer_s).min(0.9);
+    off.pcie = off.pcie.with_crc_stall(eff.pcie_stall_s, retry_fraction);
+    off.card.chip = off.card.chip.with_straggler(1.0, eff.compute_slowdown);
+
+    let rows_loc = (0..p)
+        .map(|r| cfg.grid.trailing_blocks_row(r, stage + 1, s))
+        .max()
+        .unwrap_or(0)
+        * cfg.nb;
+    let cols_loc = (0..q)
+        .map(|c| cfg.grid.trailing_blocks_col(c, stage + 1, s))
+        .max()
+        .unwrap_or(0)
+        * cfg.nb;
+    let rows_loc = rows_loc.min(cfg.n);
+    let cols_loc = cols_loc.min(cfg.n);
+
+    let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+    let panel_cores = host_cores - if cards_avail > 0 { cfg.pack_cores } else { 0.0 };
+    let t_panel = host.panel_time_s(m_panel_loc, nb, panel_cores)
+        + if p > 1 {
+            nb as f64 * 2.0 * net.latency * (p as f64).log2().ceil()
+        } else {
+            0.0
+        };
+    let t_pbcast = net.ring_bcast(8.0 * (m_panel_loc * nb) as f64, q);
+
+    let t_swap = host.swap_time_s(nb, cols_loc) + net.long_swap(nb, cols_loc, p);
+    let t_trsm = host.trsm_time_s(nb, cols_loc, panel_cores);
+    let t_ubcast = net.u_bcast(nb, cols_loc, p);
+    let three = t_swap + t_trsm + t_ubcast;
+
+    let (t_update, busy) = if rows_loc == 0 || cols_loc == 0 {
+        (0.0, 0.0)
+    } else if cards_avail > 0 {
+        let out = off.analytic(rows_loc, cols_loc, cards_avail, cfg.host_update_cores);
+        (out.time_s, out.card_busy_s)
+    } else {
+        // §V rebalance with the card share forced to zero: the host's
+        // full core set takes the whole trailing update.
+        (
+            host.gemm_time_s(rows_loc, cols_loc, nb, host_cores) / cfg.host_lu_efficiency,
+            0.0,
+        )
+    };
+
+    let (stage_time, three_exposed, panel_exposed) = match cfg.lookahead {
+        Lookahead::None => (
+            t_panel + t_pbcast + three + t_update,
+            three,
+            t_panel + t_pbcast,
+        ),
+        Lookahead::Basic => {
+            let overlap = t_update.max(t_panel + t_pbcast);
+            (
+                three + overlap,
+                three,
+                (t_panel + t_pbcast - t_update).max(0.0),
+            )
+        }
+        Lookahead::Pipelined => {
+            let first_strip = three / cfg.strips as f64;
+            let host_path = t_panel + t_pbcast + three * cfg.pipeline_overhead;
+            let card_path = t_update + first_strip;
+            (
+                card_path.max(host_path),
+                first_strip,
+                (host_path - card_path).max(0.0),
+            )
+        }
+    };
+
+    StageTimes {
+        stage_time,
+        busy,
+        update: t_update,
+        three_exposed,
+        panel_exposed,
+    }
+}
+
+/// Runs the hybrid cluster simulation under `plan`, tolerating every
+/// fault the plan throws at it (the factorization always completes —
+/// at worst on the hosts alone).
+///
+/// # Panics
+/// Panics when the per-node share does not fit in host memory, exactly
+/// as [`super::simulate_cluster`] does.
+pub fn simulate_cluster_faulty(
+    cfg: &HybridConfig,
+    plan: &FaultPlan,
+    policy: &FtPolicy,
+    keep_profiles: bool,
+) -> FaultyClusterResult {
+    assert!(
+        cfg.bytes_per_node() <= cfg.host_mem_gib * 1.073741824e9 * 0.95,
+        "N = {} does not fit in {} GiB/node on a {}x{} grid",
+        cfg.n,
+        cfg.host_mem_gib,
+        cfg.grid.p,
+        cfg.grid.q
+    );
+    let s = cfg.n.div_ceil(cfg.nb);
+    let host = &cfg.offload.host;
+    let (p, q) = (cfg.grid.p, cfg.grid.q);
+
+    let mut trace = Trace::default();
+    trace.enable();
+
+    let mut total = 0.0f64;
+    let mut card_busy_total = 0.0f64;
+    let mut profiles = Vec::new();
+
+    let mut deaths_applied = 0usize;
+    let mut degraded_stages = 0usize;
+    let mut checkpoint_s = 0.0f64;
+    let mut recovery_s = 0.0f64;
+    let mut prev_update = 0.0f64;
+    let mut weighted_cards = 0.0f64;
+
+    for stage in 0..s {
+        let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
+
+        // Deaths take effect at panel boundaries: a card that died during
+        // the previous stage is mourned (recovery paid) here.
+        let deaths_now = plan.effects_at(total).cards_lost.min(cfg.cards_per_node);
+        if deaths_now > deaths_applied {
+            let newly_dead = deaths_now - deaths_applied;
+            let restore = if policy.checkpoint_panels {
+                // Reload factorization state from the panel checkpoints.
+                8.0 * ((cfg.n / p).max(nb) * nb) as f64 / policy.checkpoint_bw
+            } else {
+                // No checkpoint: the in-flight stage's update replays.
+                prev_update
+            };
+            let cost = newly_dead as f64 * (policy.rebalance_s + restore);
+            trace.record(2, total, total + cost, Kind::Recovery);
+            total += cost;
+            recovery_s += cost;
+            deaths_applied = deaths_now;
+        }
+        let cards_avail = cfg.cards_per_node - deaths_applied;
+        if cards_avail < cfg.cards_per_node {
+            degraded_stages += 1;
+        }
+
+        // Two-pass effects sampling: estimate the stage with healthy
+        // models, then average the plan's transient windows over that
+        // estimate. Deterministic, and exact when no window straddles
+        // the stage boundary.
+        let est = stage_times(cfg, stage, s, cards_avail, &Effects::healthy());
+        let eff = plan.effects_over(total, total + est.stage_time);
+        let st = stage_times(cfg, stage, s, cards_avail, &eff);
+
+        trace.record(
+            0,
+            total,
+            total + st.panel_exposed + st.three_exposed,
+            Kind::Panel,
+        );
+        trace.record(
+            1,
+            total + (st.stage_time - st.update).max(0.0),
+            total + st.stage_time,
+            Kind::Gemm,
+        );
+
+        total += st.stage_time;
+        card_busy_total += st.busy;
+        weighted_cards += st.stage_time * cards_avail as f64;
+        prev_update = st.update;
+
+        if policy.checkpoint_panels {
+            // Panel-granular checkpoint: the factored m × nb panel and
+            // its pivots are copied to a retained host region before the
+            // stage retires.
+            let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+            let ckpt = (8.0 * (m_panel_loc * nb) as f64 + 8.0 * nb as f64) / policy.checkpoint_bw;
+            trace.record(0, total, total + ckpt, Kind::Comm);
+            total += ckpt;
+            checkpoint_s += ckpt;
+        }
+
+        if keep_profiles {
+            profiles.push(IterationProfile {
+                stage,
+                trailing_n: cfg.n - stage * cfg.nb,
+                stage_time: st.stage_time,
+                card_busy: st.busy,
+                panel_exposed: st.panel_exposed,
+                three_exposed: st.three_exposed,
+                update: st.update,
+            });
+        }
+    }
+
+    total += 2.0 * (cfg.n as f64 / p as f64) * (cfg.n as f64 / q as f64) * 8.0
+        / (host.cfg.stream_bw_gbs * 1e9);
+
+    // Fault windows on the fault lane, clipped to the run.
+    for ev in plan.events() {
+        let end = match ev.kind {
+            FaultKind::CardDeath { .. } => total,
+            _ => (ev.at_s + ev.kind.duration_s()).min(total),
+        };
+        if ev.at_s < total {
+            trace.record(2, ev.at_s, end, Kind::Fault);
+        }
+    }
+
+    let healthy = simulate_cluster(cfg, false);
+    let peak = cfg.peak_gflops();
+    let report = GigaflopsReport::new(cfg.n, total, peak).with_faults(FaultSummary {
+        plan_fingerprint: plan.fingerprint(),
+        events: plan.events().len(),
+        cards_lost: deaths_applied,
+        checkpoint_s,
+        recovery_s,
+        degraded_stages,
+        healthy_time_s: healthy.report.time_s,
+        healthy_gflops: healthy.report.gflops,
+    });
+    // Idle accounting against the cards actually alive per stage.
+    let card_idle_fraction = if cfg.cards_per_node > 0 && weighted_cards > 0.0 {
+        (1.0 - card_busy_total / weighted_cards).max(0.0)
+    } else {
+        0.0
+    };
+    FaultyClusterResult {
+        result: ClusterResult {
+            report,
+            iterations: profiles,
+            card_idle_fraction,
+        },
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_fabric::ProcessGrid;
+
+    fn cfg(n: usize, p: usize, q: usize, cards: usize) -> HybridConfig {
+        HybridConfig::new(n, ProcessGrid::new(p, q), cards)
+    }
+
+    #[test]
+    fn zero_fault_run_is_bit_identical_to_baseline() {
+        for (n, p, q, cards) in [(84_000, 1, 1, 1), (168_000, 2, 2, 2), (84_000, 1, 1, 0)] {
+            let c = cfg(n, p, q, cards);
+            let base = simulate_cluster(&c, false);
+            let ft = simulate_cluster_faulty(&c, &FaultPlan::none(), &FtPolicy::none(), false);
+            assert_eq!(
+                ft.result.report.time_s.to_bits(),
+                base.report.time_s.to_bits(),
+                "time diverged on {n}/{p}x{q}/{cards}"
+            );
+            assert_eq!(
+                ft.result.report.gflops.to_bits(),
+                base.report.gflops.to_bits()
+            );
+            let f = ft.result.report.faults.unwrap();
+            assert_eq!((f.events, f.cards_lost, f.degraded_stages), (0, 0, 0));
+            assert_eq!(f.checkpoint_s, 0.0);
+            assert_eq!(f.recovery_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn card_death_mid_run_completes_degraded() {
+        // Kill the only card a third of the way through: the run must
+        // complete (host-only fallback) and cost real time.
+        let c = cfg(84_000, 1, 1, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t_kill = healthy.report.time_s / 3.0;
+        let plan = FaultPlan::none().with_event(t_kill, FaultKind::CardDeath { card: 0 });
+        let ft = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), true);
+        let r = &ft.result.report;
+        let f = r.faults.unwrap();
+        assert_eq!(f.cards_lost, 1);
+        assert!(f.degraded_stages > 0, "post-death stages must be degraded");
+        assert!(f.recovery_s > 0.0);
+        assert!(
+            r.time_s > 1.5 * healthy.report.time_s,
+            "host-only tail must hurt: {:.1}s vs healthy {:.1}s",
+            r.time_s,
+            healthy.report.time_s
+        );
+        // But it finishes, and far faster than an all-host run from t=0
+        // would relative to never having had a card... sanity: efficiency
+        // is positive and below healthy.
+        assert!(r.efficiency() > 0.0 && r.efficiency() < healthy.report.efficiency());
+        // The trace carries fault and recovery spans.
+        let kinds: Vec<Kind> = ft.trace.spans().iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&Kind::Fault));
+        assert!(kinds.contains(&Kind::Recovery));
+    }
+
+    #[test]
+    fn transient_degradation_costs_less_than_death() {
+        let c = cfg(168_000, 2, 2, 1);
+        let healthy = simulate_cluster(&c, false);
+        let mid = healthy.report.time_s / 2.0;
+        let transient = FaultPlan::none().with_event(
+            mid,
+            FaultKind::LinkDegrade {
+                factor: 0.3,
+                duration_s: healthy.report.time_s / 4.0,
+            },
+        );
+        let lethal = FaultPlan::none().with_event(mid, FaultKind::CardDeath { card: 0 });
+        let pol = FtPolicy::none();
+        let t_trans = simulate_cluster_faulty(&c, &transient, &pol, false)
+            .result
+            .report
+            .time_s;
+        let t_death = simulate_cluster_faulty(&c, &lethal, &pol, false)
+            .result
+            .report
+            .time_s;
+        assert!(t_trans > healthy.report.time_s, "degradation costs time");
+        assert!(t_death > t_trans, "death costs more than a flapping link");
+    }
+
+    #[test]
+    fn straggler_and_crc_storm_slow_the_update() {
+        let c = cfg(84_000, 1, 1, 1);
+        let healthy = simulate_cluster(&c, false);
+        let plan = FaultPlan::none()
+            .with_event(
+                0.0,
+                FaultKind::Straggler {
+                    core_fraction: 0.25,
+                    slowdown: 2.0,
+                    duration_s: healthy.report.time_s * 2.0,
+                },
+            )
+            .with_event(
+                0.0,
+                FaultKind::PcieCrcStorm {
+                    stall_s: 100e-6,
+                    duration_s: healthy.report.time_s * 2.0,
+                },
+            );
+        let ft = simulate_cluster_faulty(&c, &plan, &FtPolicy::none(), false);
+        assert!(ft.result.report.time_s > healthy.report.time_s);
+        assert_eq!(ft.result.report.faults.unwrap().cards_lost, 0);
+    }
+
+    #[test]
+    fn checkpointing_costs_time_but_caps_recovery() {
+        let c = cfg(84_000, 1, 1, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t_kill = healthy.report.time_s * 0.6;
+        let plan = FaultPlan::none().with_event(t_kill, FaultKind::CardDeath { card: 0 });
+        let with_ck = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        let without = simulate_cluster_faulty(&c, &plan, &FtPolicy::none(), false);
+        let f_ck = with_ck.result.report.faults.unwrap();
+        let f_no = without.result.report.faults.unwrap();
+        assert!(f_ck.checkpoint_s > 0.0 && f_no.checkpoint_s == 0.0);
+        // Restoring a checkpoint is cheaper than replaying the lost stage.
+        assert!(f_ck.recovery_s < f_no.recovery_s);
+    }
+
+    #[test]
+    fn same_plan_replays_bit_identically() {
+        let c = cfg(168_000, 2, 2, 2);
+        let plan_a = FaultPlan::campaign(0xF00D, 60.0, 8);
+        let plan_b = FaultPlan::campaign(0xF00D, 60.0, 8);
+        let a = simulate_cluster_faulty(&c, &plan_a, &FtPolicy::default(), true);
+        let b = simulate_cluster_faulty(&c, &plan_b, &FtPolicy::default(), true);
+        assert_eq!(a.run_fingerprint(), b.run_fingerprint());
+        assert_eq!(
+            a.result.report.time_s.to_bits(),
+            b.result.report.time_s.to_bits()
+        );
+        assert_eq!(a.trace.spans(), b.trace.spans());
+        // A different seed is a different execution.
+        let other = simulate_cluster_faulty(
+            &c,
+            &FaultPlan::campaign(0xBEEF, 60.0, 8),
+            &FtPolicy::default(),
+            true,
+        );
+        assert_ne!(a.run_fingerprint(), other.run_fingerprint());
+    }
+}

@@ -24,7 +24,10 @@
 //! geometry of the grid, and reports both the end-to-end result
 //! (Table III) and per-iteration profiles (Fig. 9).
 
+pub mod faulty;
 pub mod stage_gantt;
+
+pub use faulty::{simulate_cluster_faulty, FaultyClusterResult, FtPolicy};
 
 use crate::offload::OffloadModel;
 use crate::report::GigaflopsReport;
@@ -105,11 +108,7 @@ impl HybridConfig {
     /// Peak GFLOPS of the whole machine (hosts + cards).
     pub fn peak_gflops(&self) -> f64 {
         let host = self.offload.host.cfg.peak_gflops();
-        let card = self
-            .offload
-            .card
-            .chip
-            .full_peak_gflops(Precision::F64);
+        let card = self.offload.card.chip.full_peak_gflops(Precision::F64);
         self.grid.size() as f64 * (host + self.cards_per_node as f64 * card)
     }
 }
@@ -187,7 +186,12 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
         // Panel: distributed down the owner column; pivot search adds a
         // per-column exchange across P.
         let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
-        let panel_cores = host_cores - if cfg.cards_per_node > 0 { cfg.pack_cores } else { 0.0 };
+        let panel_cores = host_cores
+            - if cfg.cards_per_node > 0 {
+                cfg.pack_cores
+            } else {
+                0.0
+            };
         let t_panel = host.panel_time_s(m_panel_loc, nb, panel_cores)
             + if p > 1 {
                 nb as f64 * 2.0 * net.latency * (p as f64).log2().ceil()
@@ -221,7 +225,11 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
         };
 
         let (stage_time, three_exposed, panel_exposed) = match cfg.lookahead {
-            Lookahead::None => (t_panel + t_pbcast + three + t_update, three, t_panel + t_pbcast),
+            Lookahead::None => (
+                t_panel + t_pbcast + three + t_update,
+                three,
+                t_panel + t_pbcast,
+            ),
             Lookahead::Basic => {
                 let overlap = t_update.max(t_panel + t_pbcast);
                 (

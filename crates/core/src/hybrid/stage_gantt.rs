@@ -58,7 +58,12 @@ pub fn stage_times(cfg: &HybridConfig, stage: usize) -> StageTimes {
     let ubcast = cfg.net.u_bcast(nb, cols_loc, p);
     let update = if rows_loc > 0 && cols_loc > 0 {
         cfg.offload
-            .analytic(rows_loc, cols_loc, cfg.cards_per_node, cfg.host_update_cores)
+            .analytic(
+                rows_loc,
+                cols_loc,
+                cfg.cards_per_node,
+                cfg.host_update_cores,
+            )
             .time_s
     } else {
         0.0

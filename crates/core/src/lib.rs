@@ -36,9 +36,11 @@ pub mod offload;
 pub mod refine;
 pub mod report;
 
-pub use distributed::factorize_distributed;
+pub use distributed::{factorize_distributed, factorize_distributed_with, DistError, RecvPolicy};
 pub use hpldat::HplDat;
-pub use hybrid::{ClusterResult, HybridConfig, Lookahead};
+pub use hybrid::{
+    simulate_cluster_faulty, ClusterResult, FaultyClusterResult, FtPolicy, HybridConfig, Lookahead,
+};
 pub use native::{NativeConfig, NativeScheme};
 pub use refine::{solve_mixed_precision, RefineResult};
-pub use report::{hpl_flops, GigaflopsReport};
+pub use report::{hpl_flops, FaultSummary, GigaflopsReport};

@@ -111,7 +111,8 @@ pub fn simulate_native_cluster(cfg: &NativeClusterConfig) -> GigaflopsReport {
         // Swap and U broadcast down the columns.
         let swap = t.swap_time_s(nb, cols_loc, cores) + cfg.net.long_swap(nb, cols_loc, p);
         let trsm = t.trsm_time_s(nb, cols_loc, cores);
-        let ubcast = cfg.net.u_bcast(nb, cols_loc, p) + cfg.nic_hop_s * (p.saturating_sub(1)) as f64;
+        let ubcast =
+            cfg.net.u_bcast(nb, cols_loc, p) + cfg.nic_hop_s * (p.saturating_sub(1)) as f64;
 
         // Trailing update on the whole card (DAG scheduling hides the
         // panel under it, as in the single-card native flavour).
@@ -137,6 +138,152 @@ pub fn simulate_native_cluster(cfg: &NativeClusterConfig) -> GigaflopsReport {
 /// The largest square problem a single 8 GB card can hold (paper: 30K).
 pub fn single_card_max_n() -> usize {
     KncChip::default().max_native_n()
+}
+
+/// Fault-tolerant native cluster run under an injected
+/// [`phi_faults::FaultPlan`]: panel-granular diskless checkpointing
+/// (each factored panel is mirrored to a ring neighbor's GDDR over the
+/// fabric) and graceful degradation on node death — the dead card's
+/// block-cyclic share is re-divided among the survivors, scaling the
+/// per-stage compute by `size / survivors` after a checkpoint restore.
+///
+/// With an empty plan and `checkpoint: false` this is bit-identical to
+/// [`simulate_native_cluster`]; the returned report carries a
+/// [`crate::report::FaultSummary`] either way.
+///
+/// # Panics
+/// Panics when the per-card share exceeds GDDR, as the unfaulted entry
+/// point does.
+pub fn simulate_native_cluster_ft(
+    cfg: &NativeClusterConfig,
+    plan: &phi_faults::FaultPlan,
+    checkpoint: bool,
+) -> GigaflopsReport {
+    let chip = cfg.tasks.gemm.chip;
+    assert!(
+        cfg.bytes_per_card() <= chip.memory_gib * 1.073741824e9 * 0.9,
+        "N = {} does not fit {} GiB of GDDR per card on a {}x{} grid",
+        cfg.n,
+        chip.memory_gib,
+        cfg.grid.p,
+        cfg.grid.q
+    );
+    let s = cfg.n.div_ceil(cfg.nb);
+    let p = cfg.grid.p;
+    let size = cfg.grid.size();
+
+    let mut total = 0.0f64;
+    let mut nodes_lost = 0usize;
+    let mut degraded_stages = 0usize;
+    let mut checkpoint_s = 0.0f64;
+    let mut recovery_s = 0.0f64;
+    let mut prev_stage = 0.0f64;
+
+    for stage in 0..s {
+        let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
+        let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+
+        // Node deaths surface at panel boundaries; survivors re-divide
+        // the dead node's share after restoring its mirrored panels.
+        let lost_now = plan.effects_at(total).cards_lost.min(size - 1);
+        if lost_now > nodes_lost {
+            let newly = lost_now - nodes_lost;
+            let restore = if checkpoint {
+                cfg.net.p2p(8.0 * (m_panel_loc * nb) as f64) + cfg.nic_hop_s
+            } else {
+                prev_stage
+            };
+            recovery_s += newly as f64 * restore;
+            total += newly as f64 * restore;
+            nodes_lost = lost_now;
+        }
+        let survivors = size - nodes_lost;
+        // Survivors absorb the dead nodes' block-cyclic share.
+        let redivide = size as f64 / survivors as f64;
+        if nodes_lost > 0 {
+            degraded_stages += 1;
+        }
+
+        // Transient fault state averaged over the stage (two-pass, as in
+        // the hybrid flavour: healthy estimate, then perturbed compute).
+        let est = native_stage_time(cfg, stage, s, 1.0, &cfg.net, 1.0);
+        let eff = plan.effects_over(total, total + est);
+        let net = cfg.net.degraded(eff.net_bw_factor, eff.extra_latency_s);
+        let stage_time = native_stage_time(cfg, stage, s, redivide, &net, eff.compute_slowdown);
+        total += stage_time;
+        prev_stage = stage_time;
+
+        if checkpoint {
+            // Mirror the factored panel to the ring neighbor's GDDR.
+            let ckpt = cfg.net.p2p(8.0 * (m_panel_loc * nb) as f64) + cfg.nic_hop_s;
+            total += ckpt;
+            checkpoint_s += ckpt;
+        }
+    }
+    total += 2.0 * (cfg.n as f64 / p as f64) * (cfg.n as f64 / cfg.grid.q as f64) * 8.0
+        / (chip.stream_bw_gbs * 1e9);
+
+    let healthy = simulate_native_cluster(cfg);
+    let peak = cfg.grid.size() as f64 * chip.native_peak_gflops(Precision::F64);
+    GigaflopsReport::new(cfg.n, total, peak).with_faults(crate::report::FaultSummary {
+        plan_fingerprint: plan.fingerprint(),
+        events: plan.events().len(),
+        cards_lost: nodes_lost,
+        checkpoint_s,
+        recovery_s,
+        degraded_stages,
+        healthy_time_s: healthy.time_s,
+        healthy_gflops: healthy.gflops,
+    })
+}
+
+/// One stage of the native-cluster loop — the same arithmetic as the
+/// body of [`simulate_native_cluster`], with the compute terms scaled by
+/// `redivide × slowdown` and the network terms taken from `net`. Both
+/// scale factors at `1.0` and the configured net reproduce the
+/// unfaulted stage bit-identically.
+fn native_stage_time(
+    cfg: &NativeClusterConfig,
+    stage: usize,
+    s: usize,
+    redivide: f64,
+    net: &NetModel,
+    slowdown: f64,
+) -> f64 {
+    let chip = cfg.tasks.gemm.chip;
+    let (p, q) = (cfg.grid.p, cfg.grid.q);
+    let t = &cfg.tasks;
+    let cores = chip.cores_compute as f64;
+    let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
+    let rows_loc = (0..p)
+        .map(|r| cfg.grid.trailing_blocks_row(r, stage + 1, s))
+        .max()
+        .unwrap_or(0)
+        * cfg.nb;
+    let cols_loc = (0..q)
+        .map(|c| cfg.grid.trailing_blocks_col(c, stage + 1, s))
+        .max()
+        .unwrap_or(0)
+        * cfg.nb;
+
+    let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+    let panel = t.panel_time_s(m_panel_loc, nb, cores / 4.0) * redivide * slowdown;
+    let pbcast = net.ring_bcast(8.0 * (m_panel_loc * nb) as f64, q)
+        + cfg.nic_hop_s * (q.saturating_sub(1)) as f64;
+
+    let swap =
+        t.swap_time_s(nb, cols_loc, cores) * redivide * slowdown + net.long_swap(nb, cols_loc, p);
+    let trsm = t.trsm_time_s(nb, cols_loc, cores) * redivide * slowdown;
+    let ubcast = net.u_bcast(nb, cols_loc, p) + cfg.nic_hop_s * (p.saturating_sub(1)) as f64;
+
+    let update = if rows_loc > 0 && cols_loc > 0 {
+        t.update_time_s(rows_loc, cols_loc, nb, cores) / cfg.dag_utilization * redivide * slowdown
+    } else {
+        0.0
+    };
+
+    let three_exposed = (swap + trsm + ubcast) / 6.0;
+    update.max(panel + pbcast) + three_exposed
 }
 
 #[cfg(test)]
@@ -176,6 +323,34 @@ mod tests {
         assert!(e4 < e1, "network costs something: {e4:.3} vs {e1:.3}");
         assert!(e16 < e4 + 0.01);
         assert!(e1 - e16 < 0.10, "degradation bounded: {:.3}", e1 - e16);
+    }
+
+    #[test]
+    fn ft_zero_fault_no_checkpoint_is_bit_identical() {
+        let cfg = NativeClusterConfig::new(60_000, 2, 2);
+        let base = simulate_native_cluster(&cfg);
+        let ft = simulate_native_cluster_ft(&cfg, &phi_faults::FaultPlan::none(), false);
+        assert_eq!(ft.time_s.to_bits(), base.time_s.to_bits());
+        assert_eq!(ft.gflops.to_bits(), base.gflops.to_bits());
+        let f = ft.faults.unwrap();
+        assert_eq!((f.events, f.cards_lost), (0, 0));
+    }
+
+    #[test]
+    fn ft_node_death_redivides_and_completes() {
+        use phi_faults::{FaultKind, FaultPlan};
+        let cfg = NativeClusterConfig::new(60_000, 2, 2);
+        let base = simulate_native_cluster(&cfg);
+        let plan =
+            FaultPlan::none().with_event(base.time_s / 2.0, FaultKind::CardDeath { card: 0 });
+        let ft = simulate_native_cluster_ft(&cfg, &plan, true);
+        let f = ft.faults.unwrap();
+        assert_eq!(f.cards_lost, 1);
+        assert!(f.degraded_stages > 0);
+        assert!(f.checkpoint_s > 0.0 && f.recovery_s > 0.0);
+        // Survivors carry 4/3 of the work for the tail: slower, but done.
+        assert!(ft.time_s > base.time_s);
+        assert!(f.overhead_fraction(ft.time_s) > 0.0);
     }
 
     #[test]

@@ -113,7 +113,10 @@ pub fn simulate_dynamic(cfg: &NativeConfig, trace: bool) -> GigaflopsReport {
 }
 
 /// Like [`simulate_dynamic`] but also returns the trace (Gantt source).
-pub fn simulate_dynamic_traced(cfg: &NativeConfig, trace: bool) -> (GigaflopsReport, phi_des::Trace) {
+pub fn simulate_dynamic_traced(
+    cfg: &NativeConfig,
+    trace: bool,
+) -> (GigaflopsReport, phi_des::Trace) {
     let npanels = cfg.npanels();
     assert!(npanels > 0, "empty problem");
     let peak = cfg.tasks.gemm.chip.native_peak_gflops(Precision::F64);
@@ -199,7 +202,13 @@ pub fn simulate_dynamic_traced(cfg: &NativeConfig, trace: bool) -> (GigaflopsRep
         sim.trace_mut().record(0, t, t + barrier, Kind::Barrier);
         sim.schedule(barrier, |_| {});
         sim.run();
-        dag = Some(Rc::try_unwrap(ph).ok().expect("phase released").into_inner().dag);
+        dag = Some(
+            Rc::try_unwrap(ph)
+                .ok()
+                .expect("phase released")
+                .into_inner()
+                .dag,
+        );
     }
 
     let dag = dag.expect("dag returned");

@@ -174,18 +174,10 @@ pub fn factorize_parallel(
                 let my_rows = chunk.min(m_trail - my0);
                 // SAFETY: members write disjoint row ranges of panel
                 // `panel`; L21/U12 are read-only here.
-                let l21 =
-                    unsafe { shared.window(r0 + pw + my0, stage * nb, my_rows, pw) };
+                let l21 = unsafe { shared.window(r0 + pw + my0, stage * nb, my_rows, pw) };
                 let u12 = unsafe { shared.window(r0, c0, pw, w) };
                 let mut a22 = unsafe { shared.window(r0 + pw + my0, c0, my_rows, w) };
-                gemm_with(
-                    -1.0,
-                    &l21.as_view(),
-                    &u12.as_view(),
-                    1.0,
-                    &mut a22,
-                    &bs,
-                );
+                gemm_with(-1.0, &l21.as_view(), &u12.as_view(), 1.0, &mut a22, &bs);
             }
         }
     });

@@ -21,7 +21,10 @@ pub fn simulate_static(cfg: &NativeConfig, trace: bool) -> GigaflopsReport {
 }
 
 /// Like [`simulate_static`] but returning the trace.
-pub fn simulate_static_traced(cfg: &NativeConfig, trace: bool) -> (GigaflopsReport, phi_des::Trace) {
+pub fn simulate_static_traced(
+    cfg: &NativeConfig,
+    trace: bool,
+) -> (GigaflopsReport, phi_des::Trace) {
     let npanels = cfg.npanels();
     assert!(npanels > 0, "empty problem");
     let t = &cfg.tasks;
@@ -107,7 +110,8 @@ pub fn simulate_static_traced(cfg: &NativeConfig, trace: bool) -> (GigaflopsRepo
             sim.trace_mut()
                 .record(0, now, now + update_time, Kind::Gemm);
             if panel_time > 0.0 {
-                sim.trace_mut().record(1, now, now + panel_time, Kind::Panel);
+                sim.trace_mut()
+                    .record(1, now, now + panel_time, Kind::Panel);
             }
             // Whoever finishes early waits at the global barrier.
             let slack_lane = if update_time < panel_time { 0 } else { 1 };

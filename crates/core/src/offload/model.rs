@@ -152,14 +152,8 @@ impl OffloadModel {
             rows,
             cols,
             sent: vec![HashSet::new(); cards],
-            to_device: vec![
-                phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency);
-                cards
-            ],
-            to_host: vec![
-                phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency);
-                cards
-            ],
+            to_device: vec![phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency); cards],
+            to_host: vec![phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency); cards],
             pack: phi_des::Link::new(
                 self.host.cfg.stream_bw_gbs * 1e9 * self.host.pack_bw_fraction,
                 0.0,
@@ -184,7 +178,10 @@ impl OffloadModel {
         }
         sim.run();
 
-        let st = Rc::try_unwrap(st).ok().expect("state released").into_inner();
+        let st = Rc::try_unwrap(st)
+            .ok()
+            .expect("state released")
+            .into_inner();
         let time_s = st.card_done.max(st.host_done).max(sim.now());
         let flops = 2.0 * m as f64 * n as f64 * self.kt as f64;
         OffloadOutcome {
@@ -229,7 +226,8 @@ impl OffloadModel {
             0.0
         };
         let flops = 2.0 * m as f64 * n as f64 * self.kt as f64;
-        let in_strip = 8.0 * (mt * self.kt + nt * self.kt) as f64
+        let in_strip = 8.0
+            * (mt * self.kt + nt * self.kt) as f64
             * (1.0 / (self.host.cfg.stream_bw_gbs * 1e9 * self.host.pack_bw_fraction)
                 + 1.0 / self.pcie.effective_bw);
         let exposure = in_strip * cards as f64 + c_dma.min(tile_t);
@@ -266,9 +264,7 @@ fn card_step(sim: &mut Sim, st: Rc<RefCell<DesState>>, model: OffloadModel, card
     let (ti, tj) = s.tiles[idx];
     let (_, mt) = s.rows[ti];
     let (_, nt) = s.cols[tj];
-    let start = now
-        .max(input_ready)
-        + model.pcie.queue_poll_latency;
+    let start = now.max(input_ready) + model.pcie.queue_poll_latency;
     let dur = model.tile_time_card(mt, nt);
     let end = start + dur;
     s.card_busy += dur;
@@ -285,13 +281,7 @@ fn card_step(sim: &mut Sim, st: Rc<RefCell<DesState>>, model: OffloadModel, card
 /// Books pack + DMA for any strips tile `idx` needs that card `card`
 /// does not yet have; returns the time all of the tile's inputs are
 /// resident.
-fn ensure_strips(
-    s: &mut DesState,
-    model: &OffloadModel,
-    now: f64,
-    card: usize,
-    idx: usize,
-) -> f64 {
+fn ensure_strips(s: &mut DesState, model: &OffloadModel, now: f64, card: usize, idx: usize) -> f64 {
     let (ti, tj) = s.tiles[idx];
     let mut ready = now;
     for (kind, strip_idx, elems) in [
@@ -377,7 +367,9 @@ impl OffloadModel {
         // Host side: its fixed share, sequential at its DGEMM rate.
         let mut t_host = 0.0f64;
         for &(ti, tj) in &tiles[card_tiles..] {
-            t_host += self.host.gemm_time_s(rows[ti].1, cols[tj].1, self.kt, host_cores);
+            t_host += self
+                .host
+                .gemm_time_s(rows[ti].1, cols[tj].1, self.kt, host_cores);
         }
         let time_s = card_done.max(t_card).max(t_host).max(1e-12);
         let flops = 2.0 * m as f64 * n as f64 * self.kt as f64;
@@ -407,8 +399,7 @@ fn host_step(sim: &mut Sim, st: Rc<RefCell<DesState>>, model: OffloadModel, core
     let dur = model.host.gemm_time_s(mt, nt, model.kt, cores);
     s.host_done = s.host_done.max(now + dur);
     drop(s);
-    sim.trace_mut()
-        .record(100, now, now + dur, Kind::Gemm);
+    sim.trace_mut().record(100, now, now + dur, Kind::Gemm);
     let st2 = st.clone();
     sim.schedule(dur, move |sm| host_step(sm, st2, model, cores));
 }
@@ -454,7 +445,10 @@ mod tests {
         let e1_big = one_big.gflops / peak1;
         let e2_big = two_big.gflops / (2.0 * peak1);
         // Fig. 11b: dual-card peak ≈1785 GFLOPS, 83%.
-        assert!(e2_big < e1_big, "dual-card eff {e2_big:.3} vs single {e1_big:.3}");
+        assert!(
+            e2_big < e1_big,
+            "dual-card eff {e2_big:.3} vs single {e1_big:.3}"
+        );
         assert!((e2_big - 0.83).abs() < 0.025, "dual eff {e2_big:.3}");
 
         // Faster degradation at small sizes: the single-card efficiency

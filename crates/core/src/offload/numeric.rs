@@ -71,10 +71,10 @@ pub fn offload_gemm_numeric(
         gemm_with(-1.0, &a_strip, &b_strip, 1.0, &mut cwin, bs);
     };
 
-    let (card_count, host_count) = crossbeam::scope(|s| {
+    let (card_count, host_count) = std::thread::scope(|s| {
         let mut card_handles = Vec::new();
         for _ in 0..card_threads {
-            card_handles.push(s.spawn(|_| {
+            card_handles.push(s.spawn(|| {
                 let mut done = 0;
                 while let Some(idx) = deque.steal_front() {
                     run_tile(idx, &knc_bs);
@@ -85,7 +85,7 @@ pub fn offload_gemm_numeric(
         }
         let mut host_handles = Vec::new();
         for _ in 0..host_threads {
-            host_handles.push(s.spawn(|_| {
+            host_handles.push(s.spawn(|| {
                 let mut done = 0;
                 while let Some(idx) = deque.steal_back() {
                     run_tile(idx, &host_bs);
@@ -95,11 +95,16 @@ pub fn offload_gemm_numeric(
             }));
         }
         (
-            card_handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>(),
-            host_handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>(),
+            card_handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>(),
+            host_handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>(),
         )
-    })
-    .unwrap();
+    });
 
     *c = shared.cell.into_inner();
     assert_eq!(card_count + host_count, tiles.len(), "every tile computed");
@@ -126,8 +131,12 @@ mod tests {
         let c0 = MatGen::new(3).matrix::<f64>(m, n);
         let expect = reference(&a, &b, &c0);
 
-        for (grid, card, host) in [((4, 4), 1, 1), ((3, 5), 1, 3), ((1, 1), 1, 0), ((2, 2), 0, 2)]
-        {
+        for (grid, card, host) in [
+            ((4, 4), 1, 1),
+            ((3, 5), 1, 3),
+            ((1, 1), 1, 0),
+            ((2, 2), 0, 2),
+        ] {
             let mut c = c0.clone();
             let (nc, nh) = offload_gemm_numeric(&a, &b, &mut c, grid, card, host);
             assert_eq!(nc + nh, grid.0.min(m) * grid.1.min(n));

@@ -55,10 +55,7 @@ pub fn solve_mixed_precision(
     let a32 = Matrix::<f32>::from_fn(n, n, |i, j| a[(i, j)] as f32);
     let mut lu32 = a32.clone();
     let ipiv = getrf(&mut lu32.view_mut(), nb, &BlockSizes::default())?;
-    let factors = LuFactors {
-        lu: lu32,
-        ipiv,
-    };
+    let factors = LuFactors { lu: lu32, ipiv };
 
     // Initial single-precision solve.
     let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
@@ -122,9 +119,10 @@ impl TimedRefinement {
     /// (upper bound: assumes perfect overlap of non-GEMM work).
     pub fn dgetrf_time_s(&self, n: usize) -> f64 {
         let flops = 2.0 / 3.0 * (n as f64).powi(3);
-        flops / (self.gemm.efficiency_vs_k(self.nb, Precision::F64)
-            * self.gemm.chip.native_peak_gflops(Precision::F64)
-            * 1e9)
+        flops
+            / (self.gemm.efficiency_vs_k(self.nb, Precision::F64)
+                * self.gemm.chip.native_peak_gflops(Precision::F64)
+                * 1e9)
     }
 
     /// Estimated time of the f32 factorization plus `sweeps` refinement
@@ -139,8 +137,7 @@ impl TimedRefinement {
         // Residual: streams the n² matrix once per sweep.
         let resid = 8.0 * nf * nf / (self.gemm.chip.stream_bw_gbs * 1e9);
         // Two triangular solves: 2n² flops at a conservative 25% of peak.
-        let tri = 2.0 * nf * nf
-            / (0.25 * self.gemm.chip.native_peak_gflops(Precision::F32) * 1e9);
+        let tri = 2.0 * nf * nf / (0.25 * self.gemm.chip.native_peak_gflops(Precision::F32) * 1e9);
         sgetrf + sweeps as f64 * (resid + tri)
     }
 
@@ -152,7 +149,10 @@ impl TimedRefinement {
 
 /// Convenience: generate an HPL problem and solve it mixed-precision.
 pub fn demo_problem(n: usize, seed: u64) -> (Matrix<f64>, Vec<f64>) {
-    (MatGen::new(seed).matrix::<f64>(n, n), MatGen::new(seed + 1).rhs::<f64>(n))
+    (
+        MatGen::new(seed).matrix::<f64>(n, n),
+        MatGen::new(seed + 1).rhs::<f64>(n),
+    )
 }
 
 #[cfg(test)]

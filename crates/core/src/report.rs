@@ -9,6 +9,37 @@ pub fn hpl_flops(n: usize) -> f64 {
     2.0 / 3.0 * n * n * n + 1.5 * n * n
 }
 
+/// Fault/recovery accounting attached to a run executed under a
+/// [`phi_faults::FaultPlan`]-driven simulation — the degraded-vs-healthy
+/// comparison the fault campaign reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSummary {
+    /// Fingerprint of the plan that drove the run (replay identity).
+    pub plan_fingerprint: u64,
+    /// Scheduled fault events.
+    pub events: usize,
+    /// Coprocessors permanently lost during the run.
+    pub cards_lost: usize,
+    /// Total panel-checkpoint time paid, seconds.
+    pub checkpoint_s: f64,
+    /// Total recovery time (restore + §V re-division), seconds.
+    pub recovery_s: f64,
+    /// Stages executed with fewer cards than configured.
+    pub degraded_stages: usize,
+    /// Wall time of the identical configuration with no faults, seconds.
+    pub healthy_time_s: f64,
+    /// GFLOPS of the identical configuration with no faults.
+    pub healthy_gflops: f64,
+}
+
+impl FaultSummary {
+    /// Fractional slowdown versus the healthy run:
+    /// `degraded_time / healthy_time - 1`.
+    pub fn overhead_fraction(&self, degraded_time_s: f64) -> f64 {
+        degraded_time_s / self.healthy_time_s - 1.0
+    }
+}
+
 /// A performance result with its efficiency denominator.
 #[derive(Clone, Debug)]
 pub struct GigaflopsReport {
@@ -22,6 +53,8 @@ pub struct GigaflopsReport {
     pub peak_gflops: f64,
     /// Time per activity kind, when the run was traced.
     pub breakdown: Vec<(Kind, f64)>,
+    /// Fault/recovery accounting, when the run was fault-injected.
+    pub faults: Option<FaultSummary>,
 }
 
 impl GigaflopsReport {
@@ -34,6 +67,7 @@ impl GigaflopsReport {
             gflops: hpl_flops(n) / time_s / 1e9,
             peak_gflops,
             breakdown: Vec::new(),
+            faults: None,
         }
     }
 
@@ -46,6 +80,19 @@ impl GigaflopsReport {
     pub fn with_breakdown(mut self, breakdown: Vec<(Kind, f64)>) -> Self {
         self.breakdown = breakdown;
         self
+    }
+
+    /// Attaches fault accounting.
+    pub fn with_faults(mut self, faults: FaultSummary) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Efficiency lost to faults: healthy efficiency minus achieved
+    /// efficiency, `None` for a run without fault accounting.
+    pub fn fault_efficiency_loss(&self) -> Option<f64> {
+        self.faults
+            .map(|f| (f.healthy_gflops - self.gflops) / self.peak_gflops)
     }
 }
 
@@ -73,5 +120,26 @@ mod tests {
     #[should_panic(expected = "non-positive")]
     fn zero_time_rejected() {
         GigaflopsReport::new(10, 0.0, 1.0);
+    }
+
+    #[test]
+    fn fault_summary_accounting() {
+        let healthy = GigaflopsReport::new(30_000, 20.0, 1056.0);
+        let degraded = GigaflopsReport::new(30_000, 25.0, 1056.0).with_faults(FaultSummary {
+            plan_fingerprint: 0xABCD,
+            events: 3,
+            cards_lost: 1,
+            checkpoint_s: 0.5,
+            recovery_s: 1.0,
+            degraded_stages: 7,
+            healthy_time_s: healthy.time_s,
+            healthy_gflops: healthy.gflops,
+        });
+        let f = degraded.faults.unwrap();
+        assert!((f.overhead_fraction(degraded.time_s) - 0.25).abs() < 1e-12);
+        let loss = degraded.fault_efficiency_loss().unwrap();
+        assert!(loss > 0.0 && loss < 1.0);
+        assert!(healthy.faults.is_none());
+        assert_eq!(healthy.fault_efficiency_loss(), None);
     }
 }

@@ -1,0 +1,220 @@
+//! End-to-end fault-tolerance acceptance tests for the phi-faults PR.
+//!
+//! Numeric: a hybrid blocked LU whose trailing updates run through the
+//! offload tile-stealing engine loses its coprocessor mid-factorization.
+//! Per the paper's Section V work division, the card's share drops to
+//! zero and the host absorbs every remaining tile — the factorization
+//! completes and the solve still passes the HPL residual criterion.
+//!
+//! Timed: integration-level determinism — the same fault-campaign seed
+//! reproduces a bit-identical degraded run across independent
+//! simulations, and a zero-fault plan leaves the pristine simulator's
+//! outputs untouched.
+
+use phi_blas::gemm::BlockSizes;
+use phi_blas::lu::{getf2, getrf, LuFactors};
+use phi_blas::{laswp_forward, trsm_left_lower_unit};
+use phi_fabric::ProcessGrid;
+use phi_faults::{FaultKind, FaultPlan};
+use phi_hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use phi_hpl::offload::offload_gemm_numeric;
+use phi_hpl::{simulate_cluster_faulty, FtPolicy};
+use phi_matrix::{hpl_residual, MatGen, Matrix};
+
+/// The paper's single-node hybrid configuration (Table II scale) under
+/// the given look-ahead scheme.
+fn single_node(scheme: Lookahead) -> HybridConfig {
+    let mut cfg = HybridConfig::new(30_000, ProcessGrid::new(1, 1), 1);
+    cfg.lookahead = scheme;
+    cfg
+}
+
+/// Copies the `nr × nc` block of `a` anchored at `(r0, c0)` into an
+/// owned matrix — the staging buffer a real offload engine would DMA.
+fn block(a: &Matrix<f64>, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix<f64> {
+    Matrix::from_fn(nr, nc, |i, j| a[(r0 + i, c0 + j)])
+}
+
+/// Blocked right-looking LU (mirror of `getrf`) whose trailing update
+/// `A22 -= L21 · U12` runs through the offload tile-stealing engine.
+/// From panel `death_panel` onward the card is gone (`card_threads = 0`)
+/// and host workers steal every tile.
+fn factorize_with_card_death(
+    a: &mut Matrix<f64>,
+    nb: usize,
+    death_panel: usize,
+) -> (Vec<usize>, usize, usize) {
+    let (m, n) = (a.rows(), a.cols());
+    let steps = m.min(n);
+    let mut ipiv = vec![0usize; steps];
+    let mut panel_piv = Vec::new();
+    let (mut card_tiles, mut host_tiles) = (0, 0);
+
+    let mut j = 0;
+    let mut panel_idx = 0;
+    while j < steps {
+        let jb = nb.min(steps - j);
+        {
+            let mut panel = a.sub_mut(j, j, m - j, jb);
+            getf2(&mut panel, &mut panel_piv, j).expect("panel factorization");
+        }
+        for (t, &p) in panel_piv.iter().enumerate() {
+            ipiv[j + t] = j + p;
+        }
+        if j > 0 {
+            let mut left = a.sub_mut(j, 0, m - j, j);
+            laswp_forward(&mut left, &panel_piv);
+        }
+        if j + jb < n {
+            {
+                let mut right = a.sub_mut(j, j + jb, m - j, n - j - jb);
+                laswp_forward(&mut right, &panel_piv);
+            }
+            {
+                let l11 = a.sub(j, j, jb, jb).to_matrix();
+                let mut u12 = a.sub_mut(j, j + jb, jb, n - j - jb);
+                trsm_left_lower_unit(&l11.view(), &mut u12);
+            }
+            if j + jb < m {
+                let l21 = block(a, j + jb, j, m - j - jb, jb);
+                let u12 = block(a, j, j + jb, jb, n - j - jb);
+                let mut a22 = block(a, j + jb, j + jb, m - j - jb, n - j - jb);
+                // The card dies between panels: from `death_panel` on,
+                // its share of the tile grid is zero (§V re-division)
+                // and the host side absorbs the full update.
+                let card_threads = if panel_idx >= death_panel { 0 } else { 1 };
+                let (ct, ht) = offload_gemm_numeric(&l21, &u12, &mut a22, (3, 3), card_threads, 2);
+                card_tiles += ct;
+                host_tiles += ht;
+                for i in 0..a22.rows() {
+                    for c in 0..a22.cols() {
+                        a[(j + jb + i, j + jb + c)] = a22[(i, c)];
+                    }
+                }
+            }
+        }
+        j += jb;
+        panel_idx += 1;
+    }
+    (ipiv, card_tiles, host_tiles)
+}
+
+/// The acceptance criterion of the fault-injection issue: a hybrid run
+/// with one card killed mid-factorization completes degraded and the
+/// solution still passes the HPL residual test.
+#[test]
+fn card_death_mid_factorization_passes_hpl_residual() {
+    let n = 96;
+    let nb = 16;
+    let a0 = MatGen::new(0xFA17).matrix::<f64>(n, n);
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+
+    let mut lu = a0.clone();
+    // Six panels; the card survives the first two updates only.
+    let (ipiv, card_tiles, host_tiles) = factorize_with_card_death(&mut lu, nb, 2);
+    assert!(card_tiles > 0, "card did work before dying");
+    assert!(host_tiles > 0, "host absorbed the degraded updates");
+
+    // The degraded factorization is still the factorization: it matches
+    // the sequential oracle bit-for-bit in pivots.
+    let mut oracle = a0.clone();
+    let oracle_ipiv = getrf(&mut oracle.view_mut(), nb, &BlockSizes::default()).unwrap();
+    assert_eq!(
+        ipiv, oracle_ipiv,
+        "pivot sequence diverged after card death"
+    );
+
+    let x = LuFactors { lu, ipiv }.solve(&b);
+    let report = hpl_residual(&a0.view(), &x, &b);
+    assert!(
+        report.passed,
+        "degraded run failed HPL residual: {}",
+        report.scaled_residual
+    );
+}
+
+/// Killing the card at panel 0 means the host runs the whole update
+/// alone — the fully-degraded limit must also pass.
+#[test]
+fn host_only_fallback_passes_hpl_residual() {
+    let n = 64;
+    let a0 = MatGen::new(0xDEAD).matrix::<f64>(n, n);
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+
+    let mut lu = a0.clone();
+    let (ipiv, card_tiles, host_tiles) = factorize_with_card_death(&mut lu, 16, 0);
+    assert_eq!(card_tiles, 0, "dead card stole tiles");
+    assert!(host_tiles > 0);
+
+    let x = LuFactors { lu, ipiv }.solve(&b);
+    assert!(hpl_residual(&a0.view(), &x, &b).passed);
+}
+
+/// Integration-level replay determinism: two independent simulations of
+/// the same seeded campaign agree bit-for-bit in fingerprint, wall time
+/// and fault accounting.
+#[test]
+fn campaign_seed_replays_bit_identically_across_runs() {
+    let cfg = single_node(Lookahead::Pipelined);
+    let horizon = simulate_cluster(&cfg, false).report.time_s;
+    for seed in [0x5EED_u64, 0xB00B5, 7] {
+        let plan = FaultPlan::campaign(seed, horizon, 6);
+        let one = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+        let two = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+        assert_eq!(
+            one.run_fingerprint(),
+            two.run_fingerprint(),
+            "seed {seed:#x}"
+        );
+        assert_eq!(
+            one.result.report.time_s.to_bits(),
+            two.result.report.time_s.to_bits()
+        );
+        assert_eq!(one.result.report.faults, two.result.report.faults);
+    }
+}
+
+/// Integration-level zero-fault identity: routing the pristine
+/// configuration through the fault-tolerant path with an empty plan
+/// changes nothing, to the last bit.
+#[test]
+fn empty_plan_is_invisible() {
+    for scheme in [Lookahead::None, Lookahead::Basic, Lookahead::Pipelined] {
+        let cfg = single_node(scheme);
+        let healthy = simulate_cluster(&cfg, false);
+        let faulty = simulate_cluster_faulty(&cfg, &FaultPlan::none(), &FtPolicy::none(), false);
+        assert_eq!(
+            healthy.report.time_s.to_bits(),
+            faulty.result.report.time_s.to_bits()
+        );
+        assert_eq!(
+            healthy.report.gflops.to_bits(),
+            faulty.result.report.gflops.to_bits()
+        );
+    }
+}
+
+/// A transient fault (link degradation) costs time but loses no cards;
+/// a card death costs more and completes degraded — the ordering the
+/// fault campaign tabulates.
+#[test]
+fn degradation_ordering_holds_end_to_end() {
+    let cfg = single_node(Lookahead::Pipelined);
+    let healthy = simulate_cluster(&cfg, false).report.time_s;
+    let transient = FaultPlan::none().with_event(
+        healthy * 0.2,
+        FaultKind::Straggler {
+            core_fraction: 1.0,
+            slowdown: 1.4,
+            duration_s: healthy * 0.3,
+        },
+    );
+    let fatal = FaultPlan::none().with_event(healthy * 0.2, FaultKind::CardDeath { card: 0 });
+    let policy = FtPolicy::none();
+    let t = simulate_cluster_faulty(&cfg, &transient, &policy, false);
+    let f = simulate_cluster_faulty(&cfg, &fatal, &policy, false);
+    assert!(t.result.report.time_s > healthy);
+    assert!(f.result.report.time_s > t.result.report.time_s);
+    assert_eq!(f.result.report.faults.unwrap().cards_lost, 1);
+    assert_eq!(t.result.report.faults.unwrap().cards_lost, 0);
+}

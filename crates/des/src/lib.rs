@@ -36,6 +36,43 @@ pub use trace::{to_chrome_json, Kind, Span, Trace};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Recoverable misuse of the timing models, surfaced as a value instead
+/// of a panic. The panicking entry points (`Link::transfer`,
+/// `SharedChannel::start`) remain for internal call sites whose inputs
+/// are invariants; fault-injection and other externally-driven callers
+/// should prefer the `try_*` variants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ModelError {
+    /// A transfer was requested with a negative byte count.
+    NegativeBytes {
+        /// The offending byte count.
+        bytes: f64,
+    },
+    /// A submission arrived before the channel's clock — the fluid model
+    /// cannot rewind.
+    OutOfOrder {
+        /// Requested submit time.
+        at: f64,
+        /// The channel's current clock.
+        now: f64,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NegativeBytes { bytes } => {
+                write!(f, "negative transfer size {bytes} bytes")
+            }
+            ModelError::OutOfOrder { at, now } => {
+                write!(f, "submission at t={at} precedes channel clock t={now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// A scheduled event: fires `at` simulated seconds, FIFO within a
 /// timestamp.
 struct Scheduled {

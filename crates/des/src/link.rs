@@ -33,13 +33,26 @@ impl Link {
     /// Books a transfer of `bytes` starting no earlier than `now`.
     /// Returns `(start, end)`: the transfer occupies the link on
     /// `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics on a negative byte count; use [`Link::try_transfer`] when
+    /// the size comes from untrusted input (e.g. a fault plan).
     pub fn transfer(&mut self, now: f64, bytes: f64) -> (f64, f64) {
-        assert!(bytes >= 0.0);
+        self.try_transfer(now, bytes)
+            .expect("negative transfer size")
+    }
+
+    /// Fallible [`Link::transfer`]: rejects negative sizes as a typed
+    /// error instead of panicking.
+    pub fn try_transfer(&mut self, now: f64, bytes: f64) -> Result<(f64, f64), crate::ModelError> {
+        if bytes < 0.0 {
+            return Err(crate::ModelError::NegativeBytes { bytes });
+        }
         let start = now.max(self.busy_until);
         let end = start + self.latency + bytes / self.bandwidth;
         self.busy_until = end;
         self.bytes_moved += bytes;
-        (start, end)
+        Ok((start, end))
     }
 
     /// Pure query: when would a transfer of `bytes` finish if issued at
@@ -116,6 +129,16 @@ mod tests {
         assert_eq!(l.bytes_moved(), 4e9);
         // 4e9 bytes at 2 GB/s = 2s of occupancy over a 4s horizon.
         assert!((l.utilization(4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_bytes_surface_as_typed_error() {
+        let mut l = Link::new(1e9, 0.0);
+        let err = l.try_transfer(0.0, -1.0).unwrap_err();
+        assert_eq!(err, crate::ModelError::NegativeBytes { bytes: -1.0 });
+        // The failed call books nothing.
+        assert_eq!(l.busy_until(), 0.0);
+        assert_eq!(l.bytes_moved(), 0.0);
     }
 
     #[test]

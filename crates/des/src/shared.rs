@@ -79,9 +79,25 @@ impl SharedChannel {
 
     /// Begins a transfer of `bytes` with caller-chosen `id` at time `at`
     /// (must be ≥ every earlier `at`).
+    ///
+    /// # Panics
+    /// Panics on out-of-order submission or negative size; use
+    /// [`SharedChannel::try_start`] for untrusted inputs.
     pub fn start(&mut self, at: f64, id: u64, bytes: f64) {
-        assert!(at >= self.now - 1e-12, "submissions must be time-ordered");
-        assert!(bytes >= 0.0);
+        self.try_start(at, id, bytes)
+            .expect("submissions must be time-ordered with non-negative sizes");
+    }
+
+    /// Fallible [`SharedChannel::start`]: out-of-order submissions and
+    /// negative sizes come back as typed errors, leaving the channel
+    /// untouched.
+    pub fn try_start(&mut self, at: f64, id: u64, bytes: f64) -> Result<(), crate::ModelError> {
+        if at < self.now - 1e-12 {
+            return Err(crate::ModelError::OutOfOrder { at, now: self.now });
+        }
+        if bytes < 0.0 {
+            return Err(crate::ModelError::NegativeBytes { bytes });
+        }
         self.advance_to(at);
         if bytes == 0.0 {
             self.completed.push((id, at));
@@ -91,6 +107,7 @@ impl SharedChannel {
                 id,
             });
         }
+        Ok(())
     }
 
     /// Runs every remaining flow to completion and returns all
@@ -98,11 +115,7 @@ impl SharedChannel {
     pub fn drain(mut self) -> Vec<(u64, f64)> {
         while !self.active.is_empty() {
             let horizon = self.now
-                + self
-                    .active
-                    .iter()
-                    .map(|f| f.remaining)
-                    .fold(0.0, f64::max)
+                + self.active.iter().map(|f| f.remaining).fold(0.0, f64::max)
                     / (self.bandwidth / self.active.len() as f64)
                 + 1.0;
             self.advance_to(horizon);
@@ -178,6 +191,18 @@ mod tests {
         let total: f64 = sizes.iter().sum();
         let last = done.iter().map(|&(_, t)| t).fold(0.0, f64::max);
         assert!((last - total / 2e9).abs() < 1e-9, "{last}");
+    }
+
+    #[test]
+    fn out_of_order_submission_is_a_typed_error() {
+        let mut ch = SharedChannel::new(1e9);
+        ch.start(2.0, 1, 1e9);
+        let err = ch.try_start(1.0, 2, 1e9).unwrap_err();
+        assert!(matches!(err, crate::ModelError::OutOfOrder { .. }));
+        assert!(ch.try_start(2.5, 3, -4.0).is_err());
+        // The channel still drains the one valid flow.
+        let done = ch.drain();
+        assert_eq!(done.len(), 1);
     }
 
     #[test]

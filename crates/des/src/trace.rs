@@ -23,6 +23,10 @@ pub enum Kind {
     Comm,
     /// Packing / copying tiles.
     Pack,
+    /// An injected fault window (degraded link, straggler, dead card).
+    Fault,
+    /// Fault-recovery work (checkpoint restore, §V re-division).
+    Recovery,
     /// Anything else.
     Other,
 }
@@ -38,6 +42,8 @@ impl Kind {
             Kind::Barrier => '.',
             Kind::Comm => 'C',
             Kind::Pack => 'K',
+            Kind::Fault => 'F',
+            Kind::Recovery => 'R',
             Kind::Other => '?',
         }
     }
@@ -52,12 +58,14 @@ impl Kind {
             Kind::Barrier => "barrier",
             Kind::Comm => "comm",
             Kind::Pack => "pack",
+            Kind::Fault => "fault",
+            Kind::Recovery => "recovery",
             Kind::Other => "other",
         }
     }
 
     /// All kinds, for iteration in reports.
-    pub const ALL: [Kind; 8] = [
+    pub const ALL: [Kind; 10] = [
         Kind::Panel,
         Kind::Swap,
         Kind::Trsm,
@@ -65,6 +73,8 @@ impl Kind {
         Kind::Barrier,
         Kind::Comm,
         Kind::Pack,
+        Kind::Fault,
+        Kind::Recovery,
         Kind::Other,
     ];
 }

@@ -40,6 +40,19 @@ impl NetModel {
         self.latency + bytes / self.bandwidth
     }
 
+    /// The same rail under injected degradation: bandwidth multiplied by
+    /// `bw_factor` (≤ 1, e.g. a flapping link renegotiating width) and
+    /// `extra_latency_s` added per message (switch buffer jitter). With
+    /// `bw_factor = 1` and `extra_latency_s = 0` the returned model is
+    /// bit-identical to `self` — the healthy path costs nothing.
+    pub fn degraded(&self, bw_factor: f64, extra_latency_s: f64) -> NetModel {
+        assert!(bw_factor > 0.0 && extra_latency_s >= 0.0);
+        NetModel {
+            bandwidth: self.bandwidth * bw_factor,
+            latency: self.latency + extra_latency_s,
+        }
+    }
+
     /// Pipelined increasing-ring broadcast of `bytes` to `q - 1` peers:
     /// the message is chunked, so completion at the last peer is one full
     /// transmission plus per-hop pipeline fill. For `q = 1` this is free.
@@ -104,6 +117,17 @@ mod tests {
         let ten = n.ring_bcast(1e8, 10);
         assert!(ten > one);
         assert!(ten < 3.0 * one, "pipelined: {ten} vs naive {}", 9.0 * one);
+    }
+
+    #[test]
+    fn degraded_identity_is_bit_exact() {
+        let n = NetModel::default();
+        let same = n.degraded(1.0, 0.0);
+        assert_eq!(same.bandwidth.to_bits(), n.bandwidth.to_bits());
+        assert_eq!(same.latency.to_bits(), n.latency.to_bits());
+        let worse = n.degraded(0.5, 10e-6);
+        assert!(worse.p2p(1e8) > n.p2p(1e8));
+        assert!(worse.ring_bcast(1e8, 4) > n.ring_bcast(1e8, 4));
     }
 
     #[test]

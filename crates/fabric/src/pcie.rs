@@ -50,6 +50,21 @@ impl PcieConfig {
     pub fn min_kt(&self, dgemm_flops: f64) -> f64 {
         4.0 * dgemm_flops / self.effective_bw
     }
+
+    /// The link during a CRC-retry storm: each replayed TLP window adds
+    /// `stall_s` of recovery time per DMA (the LTSSM replays the packet
+    /// after a receiver NAK), and the replays consume a matching slice of
+    /// the wire, derating both bandwidths by `1 / (1 + retry_fraction)`.
+    /// With `stall_s = 0` the returned config is bit-identical to `self`.
+    pub fn with_crc_stall(&self, stall_s: f64, retry_fraction: f64) -> PcieConfig {
+        assert!(stall_s >= 0.0 && (0.0..1.0).contains(&retry_fraction));
+        PcieConfig {
+            nominal_bw: self.nominal_bw / (1.0 + retry_fraction),
+            effective_bw: self.effective_bw / (1.0 + retry_fraction),
+            latency: self.latency + stall_s,
+            queue_poll_latency: self.queue_poll_latency,
+        }
+    }
 }
 
 /// A PCIe attachment: one serialized link per direction, as DMA reads and
@@ -169,6 +184,20 @@ mod tests {
         assert!((kt - 950.0).abs() < 1.0, "Kt bound = {kt}");
         // And the paper's choice of 1200 exceeds the bound.
         assert!(1200.0 > kt);
+    }
+
+    #[test]
+    fn crc_stall_identity_is_bit_exact() {
+        let cfg = PcieConfig::default();
+        let same = cfg.with_crc_stall(0.0, 0.0);
+        assert_eq!(same.effective_bw.to_bits(), cfg.effective_bw.to_bits());
+        assert_eq!(same.nominal_bw.to_bits(), cfg.nominal_bw.to_bits());
+        assert_eq!(same.latency.to_bits(), cfg.latency.to_bits());
+        let storm = cfg.with_crc_stall(100e-6, 0.2);
+        assert!(storm.latency > cfg.latency);
+        assert!(storm.effective_bw < cfg.effective_bw);
+        // A storm tightens the Kt bound: slower wire needs deeper tiles.
+        assert!(storm.min_kt(950e9) > cfg.min_kt(950e9));
     }
 
     #[test]

@@ -1,131 +1,167 @@
 //! Property tests for the communication substrate: block-cyclic
 //! ownership must partition the matrix, links must serialize causally,
 //! and queue visibility must be monotone.
+//!
+//! Driven by a local deterministic LCG (no external proptest dependency):
+//! each property runs over a fixed-seed sweep of randomized cases.
 
 use phi_des::Link;
 use phi_fabric::{GridCoord, MmQueue, NetModel, ProcessGrid};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Minimal LCG (same constants as phi-matrix's HplRng) for case sweeps.
+struct Cases(u64);
 
-    /// Every global block has exactly one owner, and per-process counts
-    /// sum to the total — for any grid and block count.
-    #[test]
-    fn block_cyclic_partitions(
-        p in 1usize..12,
-        q in 1usize..12,
-        nblocks in 0usize..300,
-    ) {
+impl Cases {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn index(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Every global block has exactly one owner, and per-process counts
+/// sum to the total — for any grid and block count.
+#[test]
+fn block_cyclic_partitions() {
+    let mut cases = Cases(0xF0B);
+    for _ in 0..128 {
+        let p = cases.index(1, 12);
+        let q = cases.index(1, 12);
+        let nblocks = cases.index(0, 300);
         let g = ProcessGrid::new(p, q);
         let col_sum: usize = (0..q).map(|c| g.blocks_owned_col(c, nblocks)).sum();
-        prop_assert_eq!(col_sum, nblocks);
+        assert_eq!(col_sum, nblocks);
         let row_sum: usize = (0..p).map(|r| g.blocks_owned_row(r, nblocks)).sum();
-        prop_assert_eq!(row_sum, nblocks);
+        assert_eq!(row_sum, nblocks);
         for j in 0..nblocks.min(40) {
-            prop_assert!(g.owner_col(j) < q);
-            prop_assert!(g.owner_row(j) < p);
+            assert!(g.owner_col(j) < q);
+            assert!(g.owner_row(j) < p);
         }
         // Trailing counts partition any suffix.
         let first = nblocks / 3;
-        let t: usize = (0..p).map(|r| g.trailing_blocks_row(r, first, nblocks)).sum();
-        prop_assert_eq!(t, nblocks - first.min(nblocks));
+        let t: usize = (0..p)
+            .map(|r| g.trailing_blocks_row(r, first, nblocks))
+            .sum();
+        assert_eq!(t, nblocks - first.min(nblocks));
     }
+}
 
-    /// rank/coord are inverse bijections.
-    #[test]
-    fn rank_coord_bijection(p in 1usize..10, q in 1usize..10) {
+/// rank/coord are inverse bijections.
+#[test]
+fn rank_coord_bijection() {
+    let mut cases = Cases(0xB11);
+    for _ in 0..128 {
+        let p = cases.index(1, 10);
+        let q = cases.index(1, 10);
         let g = ProcessGrid::new(p, q);
         let mut seen = std::collections::HashSet::new();
         for pp in 0..p {
             for qq in 0..q {
                 let c = GridCoord { p: pp, q: qq };
                 let r = g.rank(c);
-                prop_assert!(r < g.size());
-                prop_assert!(seen.insert(r), "duplicate rank {r}");
-                prop_assert_eq!(g.coord(r), c);
+                assert!(r < g.size());
+                assert!(seen.insert(r), "duplicate rank {r}");
+                assert_eq!(g.coord(r), c);
             }
         }
     }
+}
 
-    /// Ring order visits every other column exactly once.
-    #[test]
-    fn ring_is_a_permutation(q in 1usize..16, root in 0usize..16) {
-        let root = root % q;
+/// Ring order visits every other column exactly once.
+#[test]
+fn ring_is_a_permutation() {
+    let mut cases = Cases(0x417);
+    for _ in 0..128 {
+        let q = cases.index(1, 16);
+        let root = cases.index(0, 16) % q;
         let g = ProcessGrid::new(1, q);
         let ring = g.row_ring(root);
-        prop_assert_eq!(ring.len(), q - 1);
+        assert_eq!(ring.len(), q - 1);
         let mut set: std::collections::HashSet<usize> = ring.iter().copied().collect();
-        prop_assert_eq!(set.len(), q - 1);
+        assert_eq!(set.len(), q - 1);
         set.insert(root);
-        prop_assert_eq!(set.len(), q);
+        assert_eq!(set.len(), q);
     }
+}
 
-    /// Link transfers are causal (never start before requested, never
-    /// overlap) and conserve byte accounting.
-    #[test]
-    fn link_transfers_serialize(
-        requests in prop::collection::vec((0.0f64..10.0, 0.0f64..1e9), 1..40),
-    ) {
+/// Link transfers are causal (never start before requested, never
+/// overlap) and conserve byte accounting.
+#[test]
+fn link_transfers_serialize() {
+    let mut cases = Cases(0x11F);
+    for _ in 0..128 {
+        let nreq = cases.index(1, 40);
         let mut link = Link::new(1e9, 1e-6);
         let mut prev_end = 0.0f64;
         let mut total = 0.0;
-        for &(now, bytes) in &requests {
+        for _ in 0..nreq {
+            let now = cases.unit() * 10.0;
+            let bytes = cases.unit() * 1e9;
             let (start, end) = link.transfer(now, bytes);
-            prop_assert!(start >= now, "start before request");
-            prop_assert!(start >= prev_end, "overlapping transfers");
-            prop_assert!(end >= start);
+            assert!(start >= now, "start before request");
+            assert!(start >= prev_end, "overlapping transfers");
+            assert!(end >= start);
             prev_end = end;
             total += bytes;
         }
-        prop_assert!((link.bytes_moved() - total).abs() < 1e-3);
-        prop_assert_eq!(link.busy_until(), prev_end);
+        assert!((link.bytes_moved() - total).abs() < 1e-3);
+        assert_eq!(link.busy_until(), prev_end);
     }
+}
 
-    /// Network collective times are monotone in payload and never
-    /// negative; degenerate single-process collectives are free.
-    #[test]
-    fn net_model_monotone(
-        nb in 1usize..2000,
-        cols in 1usize..100_000,
-        p in 1usize..16,
-    ) {
+/// Network collective times are monotone in payload and never
+/// negative; degenerate single-process collectives are free.
+#[test]
+fn net_model_monotone() {
+    let mut cases = Cases(0x3E7);
+    for _ in 0..128 {
+        let nb = cases.index(1, 2000);
+        let cols = cases.index(1, 100_000);
+        let p = cases.index(1, 16);
         let n = NetModel::default();
-        prop_assert_eq!(n.long_swap(nb, cols, 1), 0.0);
-        prop_assert_eq!(n.ring_bcast(1e6, 1), 0.0);
+        assert_eq!(n.long_swap(nb, cols, 1), 0.0);
+        assert_eq!(n.ring_bcast(1e6, 1), 0.0);
         let t1 = n.long_swap(nb, cols, p.max(2));
         let t2 = n.long_swap(nb, cols * 2, p.max(2));
-        prop_assert!(t1 >= 0.0 && t2 >= t1);
+        assert!(t1 >= 0.0 && t2 >= t1);
         let b1 = n.u_bcast(nb, cols, p.max(2));
         let b2 = n.u_bcast(nb * 2, cols, p.max(2));
-        prop_assert!(b1 >= 0.0 && b2 >= b1);
+        assert!(b1 >= 0.0 && b2 >= b1);
     }
+}
 
-    /// Queue entries become visible exactly in FIFO order, never before
-    /// their latency elapses.
-    #[test]
-    fn queue_visibility_monotone(
-        latency in 0.0f64..1e-3,
-        sends in prop::collection::vec(0.0f64..1.0, 1..30),
-    ) {
+/// Queue entries become visible exactly in FIFO order, never before
+/// their latency elapses.
+#[test]
+fn queue_visibility_monotone() {
+    let mut cases = Cases(0x9F1F0);
+    for _ in 0..128 {
+        let latency = cases.unit() * 1e-3;
+        let nsend = cases.index(1, 30);
         let mut q = MmQueue::new(latency);
-        let mut times = sends.clone();
+        let mut times: Vec<f64> = (0..nsend).map(|_| cases.unit()).collect();
         times.sort_by(f64::total_cmp);
         for (i, &t) in times.iter().enumerate() {
             q.enqueue(t, i);
         }
         // Polling just before visibility yields nothing; at visibility,
         // items come out in order.
-        let mut expected = 0usize;
-        for &t in &times {
+        for (expected, &t) in times.iter().enumerate() {
             let visible = t + latency;
             if latency > 0.0 {
-                prop_assert_eq!(q.poll(visible - latency / 2.0), None);
+                assert_eq!(q.poll(visible - latency / 2.0), None);
             }
             let got = q.poll(visible).expect("visible at its deadline");
-            prop_assert_eq!(got, expected);
-            expected += 1;
+            assert_eq!(got, expected);
         }
-        prop_assert!(q.is_empty());
+        assert!(q.is_empty());
     }
 }

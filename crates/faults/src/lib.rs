@@ -1,0 +1,503 @@
+//! Deterministic fault injection for the simulated Linpack stack.
+//!
+//! The cluster and offload models in this workspace are *analytic*
+//! discrete-event simulations: every run is a pure function of its
+//! configuration. That makes fault tolerance unusually testable — a
+//! "fault" is just a perturbation of the calibrated machine models
+//! (link bandwidth, PCIe stalls, per-core throughput, card liveness)
+//! applied over a window of simulated time, and a whole campaign can be
+//! replayed bit-identically from one seed.
+//!
+//! A [`FaultPlan`] is an explicit, time-ordered list of [`FaultEvent`]s.
+//! Plans are built either by hand (one event at a chosen simulated
+//! time) or by [`FaultPlan::campaign`], which draws events from a
+//! seeded [`FaultRng`] — the same 64-bit LCG family the matrix
+//! generator uses, so determinism needs no external crate. Consumers
+//! never sample randomness at query time: every parameter is fixed at
+//! plan construction, and [`FaultPlan::effects_at`] /
+//! [`FaultPlan::effects_over`] are pure functions of simulated time.
+//! [`FaultPlan::fingerprint`] hashes the full event list so tests can
+//! assert two runs saw exactly the same faults.
+
+/// The LCG multiplier shared with `phi_matrix::HplRng` (Knuth MMIX).
+const MULT: u64 = 6364136223846793005;
+/// The LCG increment shared with `phi_matrix::HplRng`.
+const ADD: u64 = 1442695040888963407;
+
+/// Seeded 64-bit LCG — the workspace's standard deterministic stream.
+///
+/// Mirrors `phi_matrix::HplRng` (same constants) so `phi-faults` stays
+/// a leaf crate with no dependencies.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(MULT).wrapping_add(ADD))
+    }
+
+    /// Next raw 64-bit state.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(MULT).wrapping_add(ADD);
+        self.0
+    }
+
+    /// Uniform in `[0, 1)` with 53 significant bits.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// One kind of injected fault. All parameters are concrete — nothing is
+/// sampled after plan construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Inter-node link bandwidth multiplied by `factor` (< 1) for
+    /// `duration_s` of simulated time — a flapping or congested rail.
+    LinkDegrade { factor: f64, duration_s: f64 },
+    /// Extra per-message latency of `sigma_s` seconds for `duration_s`
+    /// — switch buffer jitter.
+    LatencyJitter { sigma_s: f64, duration_s: f64 },
+    /// PCIe CRC-retry storm: every transfer in the window pays an extra
+    /// `stall_s` replay stall (the hardware retrains and replays TLPs).
+    PcieCrcStorm { stall_s: f64, duration_s: f64 },
+    /// A fraction of cores throttle to `slowdown`× their normal time
+    /// for `duration_s` — a straggler card running hot.
+    Straggler {
+        core_fraction: f64,
+        slowdown: f64,
+        duration_s: f64,
+    },
+    /// A coprocessor dies at the event time and never comes back.
+    CardDeath { card: usize },
+}
+
+impl FaultKind {
+    /// Window length; card death is permanent.
+    pub fn duration_s(&self) -> f64 {
+        match *self {
+            FaultKind::LinkDegrade { duration_s, .. }
+            | FaultKind::LatencyJitter { duration_s, .. }
+            | FaultKind::PcieCrcStorm { duration_s, .. }
+            | FaultKind::Straggler { duration_s, .. } => duration_s,
+            FaultKind::CardDeath { .. } => f64::INFINITY,
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            FaultKind::LinkDegrade { .. } => 1,
+            FaultKind::LatencyJitter { .. } => 2,
+            FaultKind::PcieCrcStorm { .. } => 3,
+            FaultKind::Straggler { .. } => 4,
+            FaultKind::CardDeath { .. } => 5,
+        }
+    }
+}
+
+/// A fault scheduled at an absolute simulated time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Onset, seconds of simulated time.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Does the window cover simulated time `t`?
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.at_s && t < self.at_s + self.kind.duration_s()
+    }
+
+    /// Fraction of `[t0, t1)` the window covers (0 when disjoint).
+    pub fn overlap_fraction(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let end = self.at_s + self.kind.duration_s();
+        let lo = self.at_s.max(t0);
+        let hi = end.min(t1);
+        ((hi - lo) / (t1 - t0)).clamp(0.0, 1.0)
+    }
+}
+
+/// Aggregate perturbation of the machine models at (or over) a point of
+/// simulated time. The identity element ([`Effects::healthy`]) leaves
+/// every model untouched — a zero-fault plan is bit-identical to no
+/// plan at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Effects {
+    /// Multiplier on inter-node link bandwidth, in `(0, 1]`.
+    pub net_bw_factor: f64,
+    /// Additive per-message network latency, seconds.
+    pub extra_latency_s: f64,
+    /// Additive per-transfer PCIe stall, seconds.
+    pub pcie_stall_s: f64,
+    /// Multiplier ≥ 1 on compute time (straggler throttling).
+    pub compute_slowdown: f64,
+    /// Cards dead so far (cumulative, permanent).
+    pub cards_lost: usize,
+}
+
+impl Effects {
+    /// No perturbation at all.
+    pub fn healthy() -> Self {
+        Self {
+            net_bw_factor: 1.0,
+            extra_latency_s: 0.0,
+            pcie_stall_s: 0.0,
+            compute_slowdown: 1.0,
+            cards_lost: 0,
+        }
+    }
+
+    /// True when this equals [`Effects::healthy`].
+    pub fn is_healthy(&self) -> bool {
+        *self == Self::healthy()
+    }
+}
+
+/// A deterministic, replayable fault schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, identical output to a healthy run.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan from explicit events (kept sorted by onset).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        Self { events }
+    }
+
+    /// A seeded random campaign: `count` events drawn over
+    /// `[0, horizon_s)`. Identical `(seed, horizon_s, count)` triples
+    /// produce identical plans, bit for bit.
+    pub fn campaign(seed: u64, horizon_s: f64, count: usize) -> Self {
+        assert!(horizon_s > 0.0);
+        let mut rng = FaultRng::new(seed);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let at_s = rng.range(0.0, horizon_s);
+            let window = rng.range(0.02, 0.25) * horizon_s;
+            let kind = match rng.index(0, 5) {
+                0 => FaultKind::LinkDegrade {
+                    factor: rng.range(0.25, 0.9),
+                    duration_s: window,
+                },
+                1 => FaultKind::LatencyJitter {
+                    sigma_s: rng.range(1e-6, 40e-6),
+                    duration_s: window,
+                },
+                2 => FaultKind::PcieCrcStorm {
+                    stall_s: rng.range(5e-6, 200e-6),
+                    duration_s: window,
+                },
+                3 => FaultKind::Straggler {
+                    core_fraction: rng.range(0.05, 0.5),
+                    slowdown: rng.range(1.2, 3.0),
+                    duration_s: window,
+                },
+                _ => FaultKind::CardDeath {
+                    card: rng.index(0, 2),
+                },
+            };
+            events.push(FaultEvent { at_s, kind });
+        }
+        Self::from_events(events)
+    }
+
+    /// Adds one event (builder style), keeping onset order.
+    pub fn with_event(mut self, at_s: f64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_s, kind });
+        self.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        self
+    }
+
+    /// The schedule, onset-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Instantaneous aggregate effects at simulated time `t`.
+    /// Overlapping faults compose: bandwidth factors multiply, latency
+    /// and stalls add, slowdowns multiply, card deaths accumulate.
+    pub fn effects_at(&self, t: f64) -> Effects {
+        let mut e = Effects::healthy();
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::CardDeath { .. } if t >= ev.at_s => e.cards_lost += 1,
+                FaultKind::CardDeath { .. } => {}
+                _ if ev.active_at(t) => match ev.kind {
+                    FaultKind::LinkDegrade { factor, .. } => e.net_bw_factor *= factor,
+                    FaultKind::LatencyJitter { sigma_s, .. } => e.extra_latency_s += sigma_s,
+                    FaultKind::PcieCrcStorm { stall_s, .. } => e.pcie_stall_s += stall_s,
+                    FaultKind::Straggler {
+                        core_fraction,
+                        slowdown,
+                        ..
+                    } => {
+                        // A fraction f of cores running k× slower drags
+                        // aggregate throughput to 1/(1-f+f*k)... inverted:
+                        e.compute_slowdown *= 1.0 - core_fraction + core_fraction * slowdown;
+                    }
+                    FaultKind::CardDeath { .. } => unreachable!(),
+                },
+                _ => {}
+            }
+        }
+        e
+    }
+
+    /// Aggregate effects averaged over `[t0, t1)` — transient windows
+    /// are weighted by their overlap with the interval, which is the
+    /// right granularity for the per-stage cluster loop.
+    pub fn effects_over(&self, t0: f64, t1: f64) -> Effects {
+        let mut e = Effects::healthy();
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::CardDeath { .. } => {
+                    if ev.at_s < t1 {
+                        e.cards_lost += 1;
+                    }
+                }
+                _ => {
+                    let w = ev.overlap_fraction(t0, t1);
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    match ev.kind {
+                        FaultKind::LinkDegrade { factor, .. } => {
+                            e.net_bw_factor *= 1.0 - w + w * factor;
+                        }
+                        FaultKind::LatencyJitter { sigma_s, .. } => {
+                            e.extra_latency_s += w * sigma_s;
+                        }
+                        FaultKind::PcieCrcStorm { stall_s, .. } => {
+                            e.pcie_stall_s += w * stall_s;
+                        }
+                        FaultKind::Straggler {
+                            core_fraction,
+                            slowdown,
+                            ..
+                        } => {
+                            let full = 1.0 - core_fraction + core_fraction * slowdown;
+                            e.compute_slowdown *= 1.0 - w + w * full;
+                        }
+                        FaultKind::CardDeath { .. } => unreachable!(),
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Onset of the first card death, if any card ever dies.
+    pub fn first_card_death(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CardDeath { .. }))
+            .map(|e| e.at_s)
+            .next()
+    }
+
+    /// Total cards that ever die under this plan.
+    pub fn total_card_deaths(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CardDeath { .. }))
+            .count()
+    }
+
+    /// FNV-1a over the exact bit patterns of every event — two plans
+    /// fingerprint equal iff they schedule identical faults.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for ev in &self.events {
+            mix(ev.at_s.to_bits());
+            mix(ev.kind.tag());
+            match ev.kind {
+                FaultKind::LinkDegrade { factor, duration_s } => {
+                    mix(factor.to_bits());
+                    mix(duration_s.to_bits());
+                }
+                FaultKind::LatencyJitter {
+                    sigma_s,
+                    duration_s,
+                } => {
+                    mix(sigma_s.to_bits());
+                    mix(duration_s.to_bits());
+                }
+                FaultKind::PcieCrcStorm {
+                    stall_s,
+                    duration_s,
+                } => {
+                    mix(stall_s.to_bits());
+                    mix(duration_s.to_bits());
+                }
+                FaultKind::Straggler {
+                    core_fraction,
+                    slowdown,
+                    duration_s,
+                } => {
+                    mix(core_fraction.to_bits());
+                    mix(slowdown.to_bits());
+                    mix(duration_s.to_bits());
+                }
+                FaultKind::CardDeath { card } => mix(card as u64),
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_healthy_everywhere() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        for t in [0.0, 1.0, 1e6] {
+            assert!(p.effects_at(t).is_healthy());
+        }
+        assert!(p.effects_over(0.0, 1e9).is_healthy());
+        assert_eq!(p.first_card_death(), None);
+    }
+
+    #[test]
+    fn same_seed_same_campaign() {
+        let a = FaultPlan::campaign(42, 100.0, 12);
+        let b = FaultPlan::campaign(42, 100.0, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = FaultPlan::campaign(43, 100.0, 12);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn window_activation_and_overlap() {
+        let p = FaultPlan::none().with_event(
+            10.0,
+            FaultKind::LinkDegrade {
+                factor: 0.5,
+                duration_s: 5.0,
+            },
+        );
+        assert!(p.effects_at(9.99).is_healthy());
+        assert_eq!(p.effects_at(12.0).net_bw_factor, 0.5);
+        assert!(p.effects_at(15.0).is_healthy());
+        // Half of [10, 20) overlaps → factor averages to 0.75.
+        let e = p.effects_over(10.0, 20.0);
+        assert!((e.net_bw_factor - 0.75).abs() < 1e-12);
+        // Disjoint window sees nothing.
+        assert!(p.effects_over(20.0, 30.0).is_healthy());
+    }
+
+    #[test]
+    fn card_death_is_permanent_and_cumulative() {
+        let p = FaultPlan::none()
+            .with_event(5.0, FaultKind::CardDeath { card: 0 })
+            .with_event(8.0, FaultKind::CardDeath { card: 1 });
+        assert_eq!(p.effects_at(4.0).cards_lost, 0);
+        assert_eq!(p.effects_at(6.0).cards_lost, 1);
+        assert_eq!(p.effects_at(1e9).cards_lost, 2);
+        assert_eq!(p.first_card_death(), Some(5.0));
+        assert_eq!(p.total_card_deaths(), 2);
+    }
+
+    #[test]
+    fn overlapping_faults_compose() {
+        let p = FaultPlan::none()
+            .with_event(
+                0.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.5,
+                    duration_s: 10.0,
+                },
+            )
+            .with_event(
+                0.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.5,
+                    duration_s: 10.0,
+                },
+            )
+            .with_event(
+                0.0,
+                FaultKind::Straggler {
+                    core_fraction: 0.5,
+                    slowdown: 2.0,
+                    duration_s: 10.0,
+                },
+            );
+        let e = p.effects_at(5.0);
+        assert!((e.net_bw_factor - 0.25).abs() < 1e-12);
+        assert!((e.compute_slowdown - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_are_onset_sorted() {
+        let p = FaultPlan::from_events(vec![
+            FaultEvent {
+                at_s: 9.0,
+                kind: FaultKind::CardDeath { card: 0 },
+            },
+            FaultEvent {
+                at_s: 1.0,
+                kind: FaultKind::LatencyJitter {
+                    sigma_s: 1e-6,
+                    duration_s: 2.0,
+                },
+            },
+        ]);
+        assert!(p.events()[0].at_s < p.events()[1].at_s);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = FaultRng::new(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            let x = r.range(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let i = r.index(2, 17);
+            assert!((2..17).contains(&i));
+        }
+    }
+}

@@ -237,7 +237,10 @@ mod tests {
             let _ = rep;
         }
         let (hits, misses) = c.stats();
-        assert!(misses > 9, "second sweep must still miss (thrash): h={hits} m={misses}");
+        assert!(
+            misses > 9,
+            "second sweep must still miss (thrash): h={hits} m={misses}"
+        );
     }
 
     #[test]

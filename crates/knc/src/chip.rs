@@ -98,6 +98,22 @@ impl KncChip {
         let bytes = self.memory_gib * 1024.0 * 1024.0 * 1024.0 * 0.9;
         (bytes / 8.0).sqrt() as usize
     }
+
+    /// The chip with `core_fraction` of its cores throttled to run
+    /// `slowdown`× slower — a straggler card running hot and clocking
+    /// down part of the die. Barrier-synchronized LU kernels run at the
+    /// pace of the slowest group, but work stealing rebalances most of
+    /// the gap, so the model charges the *aggregate throughput* drag
+    /// `1 - f + f·k` against the clock. With `core_fraction = 0` or
+    /// `slowdown = 1` the returned chip is bit-identical to `self`.
+    pub fn with_straggler(&self, core_fraction: f64, slowdown: f64) -> Self {
+        assert!((0.0..=1.0).contains(&core_fraction) && slowdown >= 1.0);
+        let drag = 1.0 - core_fraction + core_fraction * slowdown;
+        Self {
+            freq_ghz: self.freq_ghz / drag,
+            ..*self
+        }
+    }
 }
 
 /// Calibrated GEMM performance model (Table II / Fig. 4).
@@ -355,8 +371,10 @@ impl LuTaskModel {
     pub fn swap_time_s(&self, nb: usize, cols: usize, cores: f64) -> f64 {
         let traffic = 2.0 * 8.0 * nb as f64 * cols as f64; // read + write
         let chip_cores = self.gemm.chip.cores_compute as f64;
-        let bw_share =
-            self.gemm.chip.stream_bw_gbs * 1e9 * self.swap_bw_fraction * (cores / chip_cores).min(1.0);
+        let bw_share = self.gemm.chip.stream_bw_gbs
+            * 1e9
+            * self.swap_bw_fraction
+            * (cores / chip_cores).min(1.0);
         traffic / bw_share.max(1.0)
     }
 
@@ -398,6 +416,18 @@ mod tests {
     const TABLE2_K: [usize; 6] = [120, 180, 240, 300, 340, 400];
     const TABLE2_DP_EFF: [f64; 6] = [0.867, 0.886, 0.891, 0.894, 0.893, 0.889];
     const TABLE2_SP_EFF: [f64; 6] = [0.883, 0.893, 0.901, 0.904, 0.906, 0.908];
+
+    #[test]
+    fn straggler_throttling_drags_the_clock() {
+        let chip = KncChip::default();
+        // Identity case is bit-exact: a healthy chip is untouched.
+        let same = chip.with_straggler(0.0, 1.0);
+        assert_eq!(same.freq_ghz.to_bits(), chip.freq_ghz.to_bits());
+        // Half the cores at 2x slower → 1.5x aggregate drag.
+        let hot = chip.with_straggler(0.5, 2.0);
+        assert!((hot.freq_ghz - chip.freq_ghz / 1.5).abs() < 1e-12);
+        assert!(hot.native_peak_gflops(Precision::F64) < chip.native_peak_gflops(Precision::F64));
+    }
 
     #[test]
     fn peaks_match_table1() {

@@ -140,7 +140,9 @@ pub fn validate(p: &Program) -> Vec<ValidationError> {
                 check_reg(at, *b, &mut errs);
                 check_operand(at, src, &mut errs);
             }
-            Instr::Load { dst, .. } | Instr::Broadcast { dst, .. } => check_reg(at, *dst, &mut errs),
+            Instr::Load { dst, .. } | Instr::Broadcast { dst, .. } => {
+                check_reg(at, *dst, &mut errs)
+            }
             Instr::Store { src, .. } => check_reg(at, *src, &mut errs),
             Instr::Add { dst, src } | Instr::Mul { dst, src } => {
                 check_reg(at, *dst, &mut errs);
@@ -207,8 +209,14 @@ mod tests {
         });
         let errs = validate(&p);
         assert_eq!(errs.len(), 3);
-        assert!(matches!(errs[0], ValidationError::BadRegister { at: 0, reg: 40 }));
-        assert!(matches!(errs[1], ValidationError::BadSwizzleLane { at: 0, lane: 7 }));
+        assert!(matches!(
+            errs[0],
+            ValidationError::BadRegister { at: 0, reg: 40 }
+        ));
+        assert!(matches!(
+            errs[1],
+            ValidationError::BadSwizzleLane { at: 0, lane: 7 }
+        ));
         assert!(errs[2].to_string().contains("v33"));
     }
 }

@@ -163,7 +163,8 @@ impl CoreSim {
         iters: usize,
         threads: &[StreamBases],
     ) -> u64 {
-        self.run_with_marks(body, epilogue, iters, threads, iters, iters).0
+        self.run_with_marks(body, epilogue, iters, threads, iters, iters)
+            .0
     }
 
     /// Like [`Self::run`], but additionally reports two checkpoints for
@@ -480,8 +481,8 @@ mod tests {
     #[test]
     fn functional_load_add_store() {
         let mut mem = vec![0.0; 64];
-        for i in 0..8 {
-            mem[i] = i as f64;
+        for (i, m) in mem.iter_mut().enumerate().take(8) {
+            *m = i as f64;
         }
         mem[8] = 10.0; // broadcast source
         let mut sim = CoreSim::new(PipelineConfig::default(), mem);
@@ -510,8 +511,8 @@ mod tests {
     fn functional_fmadd_swizzle() {
         let mut mem = vec![0.0; 64];
         // b row = [1..8]; a 4to8 source = [2,3,4,5].
-        for i in 0..8 {
-            mem[i] = (i + 1) as f64;
+        for (i, m) in mem.iter_mut().enumerate().take(8) {
+            *m = (i + 1) as f64;
         }
         mem[8] = 2.0;
         mem[9] = 3.0;
@@ -628,6 +629,10 @@ mod tests {
         assert_eq!(s4.stats().fmadds, 4 * s1.stats().fmadds);
         assert!(c4 < c1 * 2, "c1={c1} c4={c4}");
         // With 4 threads the pipe is ~fully utilized.
-        assert!(s4.stats().fma_efficiency() > 0.95, "{}", s4.stats().fma_efficiency());
+        assert!(
+            s4.stats().fma_efficiency() > 0.95,
+            "{}",
+            s4.stats().fma_efficiency()
+        );
     }
 }

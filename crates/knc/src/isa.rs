@@ -258,7 +258,14 @@ pub fn swizzle(v: &VReg, i: u8) -> VReg {
     assert!(i < 4, "swizzle selects within a 4-element lane");
     let i = i as usize;
     [
-        v[i], v[i], v[i], v[i], v[4 + i], v[4 + i], v[4 + i], v[4 + i],
+        v[i],
+        v[i],
+        v[i],
+        v[i],
+        v[4 + i],
+        v[4 + i],
+        v[4 + i],
+        v[4 + i],
     ]
 }
 
@@ -338,7 +345,10 @@ mod tests {
         for r in 0..31u8 {
             p.push(Instr::Fmadd {
                 acc: r,
-                src: Operand::MemBcast(Addr::new(StreamId::A, 31, r as usize), BcastMode::OneToEight),
+                src: Operand::MemBcast(
+                    Addr::new(StreamId::A, 31, r as usize),
+                    BcastMode::OneToEight,
+                ),
                 b: 31,
             });
         }

@@ -57,9 +57,8 @@ pub fn build_basic_kernel(kind: MicroKernelKind) -> (Program, Program) {
     // hand-written assembly schedules them ("prefetches and scalar
     // instructions co-issue with vector operations in the same cycle").
     let pf_b_next = Instr::PrefetchL1(Addr::new(StreamId::B, NR, NR));
-    let pf_a_next = Instr::PrefetchL1(
-        Addr::new(StreamId::A, A_COL_STRIDE, A_COL_STRIDE).with_thread_scale(NR),
-    );
+    let pf_a_next =
+        Instr::PrefetchL1(Addr::new(StreamId::A, A_COL_STRIDE, A_COL_STRIDE).with_thread_scale(NR));
     let pf_a_l2 = Instr::PrefetchL2(
         Addr::new(StreamId::A, A_COL_STRIDE, 2 * A_COL_STRIDE).with_thread_scale(NR),
     );
@@ -324,9 +323,15 @@ mod tests {
     fn kernel2_computes_exact_product() {
         let depth = 64;
         let (a, bs) = random_tiles(30, depth, 1);
-        let rep = run_tile_product(MicroKernelKind::Kernel2, depth, &a, &bs, PipelineConfig::default());
-        for t in 0..4 {
-            let expect = reference_c(30, depth, &a, &bs[t]);
+        let rep = run_tile_product(
+            MicroKernelKind::Kernel2,
+            depth,
+            &a,
+            &bs,
+            PipelineConfig::default(),
+        );
+        for (t, b) in bs.iter().enumerate() {
+            let expect = reference_c(30, depth, &a, b);
             assert_eq!(rep.c_tiles[t], expect, "thread {t} C tile");
         }
     }
@@ -335,9 +340,15 @@ mod tests {
     fn kernel1_computes_exact_product() {
         let depth = 48;
         let (a, bs) = random_tiles(31, depth, 2);
-        let rep = run_tile_product(MicroKernelKind::Kernel1, depth, &a, &bs, PipelineConfig::default());
-        for t in 0..4 {
-            let expect = reference_c(31, depth, &a, &bs[t]);
+        let rep = run_tile_product(
+            MicroKernelKind::Kernel1,
+            depth,
+            &a,
+            &bs,
+            PipelineConfig::default(),
+        );
+        for (t, b) in bs.iter().enumerate() {
+            let expect = reference_c(31, depth, &a, b);
             assert_eq!(rep.c_tiles[t], expect, "thread {t} C tile");
         }
     }
@@ -360,9 +371,21 @@ mod tests {
         // efficiency loses to port-conflict stalls; Kernel 2 wins.
         let depth = 300;
         let (a1, bs1) = random_tiles(31, depth, 3);
-        let r1 = run_tile_product(MicroKernelKind::Kernel1, depth, &a1, &bs1, PipelineConfig::default());
+        let r1 = run_tile_product(
+            MicroKernelKind::Kernel1,
+            depth,
+            &a1,
+            &bs1,
+            PipelineConfig::default(),
+        );
         let (a2, bs2) = random_tiles(30, depth, 4);
-        let r2 = run_tile_product(MicroKernelKind::Kernel2, depth, &a2, &bs2, PipelineConfig::default());
+        let r2 = run_tile_product(
+            MicroKernelKind::Kernel2,
+            depth,
+            &a2,
+            &bs2,
+            PipelineConfig::default(),
+        );
 
         assert!(
             r1.theoretical_efficiency > r2.theoretical_efficiency,
@@ -389,7 +412,10 @@ mod tests {
             r1.steady_efficiency,
             r2.steady_efficiency
         );
-        assert!(r1.stats.fill_stall_cycles > 0, "kernel1 must stall on fills");
+        assert!(
+            r1.stats.fill_stall_cycles > 0,
+            "kernel1 must stall on fills"
+        );
         assert!(
             r2.stats.fill_stall_cycles == 0,
             "kernel2 must not stall: {} stall cycles",
@@ -401,7 +427,13 @@ mod tests {
     fn kernel2_fills_land_in_holes() {
         let depth = 200;
         let (a, bs) = random_tiles(30, depth, 5);
-        let rep = run_tile_product(MicroKernelKind::Kernel2, depth, &a, &bs, PipelineConfig::default());
+        let rep = run_tile_product(
+            MicroKernelKind::Kernel2,
+            depth,
+            &a,
+            &bs,
+            PipelineConfig::default(),
+        );
         assert!(
             rep.stats.fills_in_holes > rep.stats.fill_stall_cycles,
             "holes={} stalls={}",

@@ -5,67 +5,108 @@
 //! functional interpreter computes — the timing machinery (ports, fills,
 //! stalls, SMT interleaving) must never change the arithmetic. Plus
 //! cache-model invariants and timing sanity bounds.
+//!
+//! Program generation is driven by the in-repo deterministic
+//! [`phi_matrix::HplRng`] (no external proptest dependency), so every
+//! sweep is reproducible bit-identically.
 
 use phi_knc::emu::{CoreSim, StreamBases};
 use phi_knc::isa::{broadcast, swizzle, Addr, BcastMode, Instr, Operand, Program, StreamId, VLEN};
 use phi_knc::PipelineConfig;
-use proptest::prelude::*;
+use phi_matrix::HplRng;
 
 const MEM_ELEMS: usize = 512;
 
-/// Strategy for a random (aligned, in-bounds) address within stream A.
+/// Deterministic generator of random (aligned, in-bounds) programs.
 /// All programs use only stream A with base 0 and iterate at stride 8,
 /// so `iter * 8 + offset` must stay inside memory for every iteration.
-fn addr_strategy(iters: usize) -> impl Strategy<Value = Addr> {
-    let max_off = MEM_ELEMS - VLEN - (iters - 1) * 8;
-    (0..max_off / 8).prop_map(|o| Addr::new(StreamId::A, 8, o * 8))
-}
+struct Gen(HplRng);
 
-fn operand_strategy(iters: usize) -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0u8..30).prop_map(Operand::Reg),
-        addr_strategy(iters).prop_map(Operand::Mem),
-        addr_strategy(iters).prop_map(|a| Operand::MemBcast(a, BcastMode::OneToEight)),
-        addr_strategy(iters).prop_map(|a| Operand::MemBcast(a, BcastMode::FourToEight)),
-        ((0u8..30), (0u8..4)).prop_map(|(r, i)| Operand::Swizzle(r, i)),
-    ]
-}
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self(HplRng::new(seed))
+    }
 
-fn instr_strategy(iters: usize) -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        ((0u8..30), operand_strategy(iters), (0u8..30))
-            .prop_map(|(acc, src, b)| Instr::Fmadd { acc, src, b }),
-        ((0u8..30), addr_strategy(iters)).prop_map(|(dst, addr)| Instr::Load { dst, addr }),
-        ((0u8..30), addr_strategy(iters)).prop_map(|(src, addr)| Instr::Store { src, addr }),
-        ((0u8..30), addr_strategy(iters)).prop_map(|(dst, addr)| Instr::Broadcast {
-            dst,
-            addr,
-            mode: BcastMode::OneToEight,
-        }),
-        ((0u8..30), operand_strategy(iters)).prop_map(|(dst, src)| Instr::Add { dst, src }),
-        ((0u8..30), operand_strategy(iters)).prop_map(|(dst, src)| Instr::Mul { dst, src }),
-        addr_strategy(iters).prop_map(Instr::PrefetchL1),
-        addr_strategy(iters).prop_map(Instr::PrefetchL2),
-        Just(Instr::ScalarOp),
-    ]
+    fn index(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.0.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn reg(&mut self) -> u8 {
+        self.index(0, 30) as u8
+    }
+
+    fn addr(&mut self, iters: usize) -> Addr {
+        let max_off = MEM_ELEMS - VLEN - (iters - 1) * 8;
+        Addr::new(StreamId::A, 8, self.index(0, max_off / 8) * 8)
+    }
+
+    fn operand(&mut self, iters: usize) -> Operand {
+        match self.index(0, 5) {
+            0 => Operand::Reg(self.reg()),
+            1 => Operand::Mem(self.addr(iters)),
+            2 => Operand::MemBcast(self.addr(iters), BcastMode::OneToEight),
+            3 => Operand::MemBcast(self.addr(iters), BcastMode::FourToEight),
+            _ => Operand::Swizzle(self.reg(), self.index(0, 4) as u8),
+        }
+    }
+
+    fn instr(&mut self, iters: usize) -> Instr {
+        match self.index(0, 9) {
+            0 => Instr::Fmadd {
+                acc: self.reg(),
+                src: self.operand(iters),
+                b: self.reg(),
+            },
+            1 => Instr::Load {
+                dst: self.reg(),
+                addr: self.addr(iters),
+            },
+            2 => Instr::Store {
+                src: self.reg(),
+                addr: self.addr(iters),
+            },
+            3 => Instr::Broadcast {
+                dst: self.reg(),
+                addr: self.addr(iters),
+                mode: BcastMode::OneToEight,
+            },
+            4 => Instr::Add {
+                dst: self.reg(),
+                src: self.operand(iters),
+            },
+            5 => Instr::Mul {
+                dst: self.reg(),
+                src: self.operand(iters),
+            },
+            6 => Instr::PrefetchL1(self.addr(iters)),
+            7 => Instr::PrefetchL2(self.addr(iters)),
+            _ => Instr::ScalarOp,
+        }
+    }
+
+    fn program(&mut self, iters: usize, lo: usize, hi: usize) -> Vec<Instr> {
+        let len = self.index(lo, hi);
+        (0..len).map(|_| self.instr(iters)).collect()
+    }
 }
 
 /// Plain functional interpreter: single thread, no timing.
 fn reference_run(body: &[Instr], iters: usize, mem: &mut [f64]) {
     let mut regs = [[0.0f64; VLEN]; 32];
-    let read_op = |op: &Operand, iter: usize, regs: &[[f64; VLEN]; 32], mem: &[f64]| -> [f64; VLEN] {
-        match op {
-            Operand::Reg(r) => regs[*r as usize],
-            Operand::Swizzle(r, i) => swizzle(&regs[*r as usize], *i),
-            Operand::Mem(a) => {
-                let idx = a.resolve(iter, 0, 0);
-                let mut v = [0.0; VLEN];
-                v.copy_from_slice(&mem[idx..idx + VLEN]);
-                v
+    let read_op =
+        |op: &Operand, iter: usize, regs: &[[f64; VLEN]; 32], mem: &[f64]| -> [f64; VLEN] {
+            match op {
+                Operand::Reg(r) => regs[*r as usize],
+                Operand::Swizzle(r, i) => swizzle(&regs[*r as usize], *i),
+                Operand::Mem(a) => {
+                    let idx = a.resolve(iter, 0, 0);
+                    let mut v = [0.0; VLEN];
+                    v.copy_from_slice(&mem[idx..idx + VLEN]);
+                    v
+                }
+                Operand::MemBcast(a, mode) => broadcast(mem, a.resolve(iter, 0, 0), *mode),
             }
-            Operand::MemBcast(a, mode) => broadcast(mem, a.resolve(iter, 0, 0), *mode),
-        }
-    };
+        };
     for iter in 0..iters {
         for instr in body {
             match *instr {
@@ -105,18 +146,16 @@ fn reference_run(body: &[Instr], iters: usize, mem: &mut [f64]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The cycle-level emulator and the functional interpreter agree
-    /// bit-for-bit on final memory, for any single-threaded program.
-    #[test]
-    fn emulator_matches_reference(
-        iters in 1usize..8,
-        seed in 0u64..10_000,
-        prog in prop::collection::vec(instr_strategy(8), 1..24),
-    ) {
-        let mut rng = phi_matrix::HplRng::new(seed);
+/// The cycle-level emulator and the functional interpreter agree
+/// bit-for-bit on final memory, for any single-threaded program.
+#[test]
+fn emulator_matches_reference() {
+    let mut gen = Gen::new(0xE500);
+    for _ in 0..48 {
+        let iters = gen.index(1, 8);
+        let seed = gen.index(0, 10_000) as u64;
+        let prog = gen.program(8, 1, 24);
+        let mut rng = HplRng::new(seed);
         let init: Vec<f64> = (0..MEM_ELEMS).map(|_| rng.next_value()).collect();
 
         let mut sim = CoreSim::new(PipelineConfig::default(), init.clone());
@@ -126,17 +165,19 @@ proptest! {
         let mut expect = init;
         reference_run(&prog, iters, &mut expect);
 
-        prop_assert_eq!(sim.mem(), &expect[..], "memory diverged");
+        assert_eq!(sim.mem(), &expect[..], "memory diverged");
     }
+}
 
-    /// Timing sanity: cycles are at least the number of vector
-    /// instructions issued (one U-pipe per cycle) and at most a generous
-    /// bound including stalls.
-    #[test]
-    fn cycle_bounds_hold(
-        iters in 1usize..8,
-        prog in prop::collection::vec(instr_strategy(8), 1..24),
-    ) {
+/// Timing sanity: cycles are at least the number of vector
+/// instructions issued (one U-pipe per cycle) and at most a generous
+/// bound including stalls.
+#[test]
+fn cycle_bounds_hold() {
+    let mut gen = Gen::new(0xC1C1);
+    for _ in 0..48 {
+        let iters = gen.index(1, 8);
+        let prog = gen.program(8, 1, 24);
         let body = Program { body: prog };
         let vec_count = body.vector_count() as u64;
         let total_instrs = body.body.len() as u64;
@@ -146,19 +187,21 @@ proptest! {
         // One thread on a 4-way SMT core issues at most every cycle (it
         // is the only ready thread) but at least one instruction slot per
         // 1 cycle; stalls are bounded by every access missing to memory.
-        prop_assert!(cycles >= vec_count * it, "{cycles} < {vec_count}*{it}");
+        assert!(cycles >= vec_count * it, "{cycles} < {vec_count}*{it}");
         let worst = (total_instrs * it + 1) * (2 * 230 + 8);
-        prop_assert!(cycles <= worst, "{cycles} > {worst}");
+        assert!(cycles <= worst, "{cycles} > {worst}");
     }
+}
 
-    /// With four threads running the same program, every thread's FMA
-    /// count is included (4x the single-thread count) and the cycle count
-    /// at most ~doubles relative to one thread (the pipe was 1/4 utilized
-    /// before).
-    #[test]
-    fn smt_scales_throughput(
-        prog in prop::collection::vec(instr_strategy(4), 4..16),
-    ) {
+/// With four threads running the same program, every thread's FMA
+/// count is included (4x the single-thread count) and the cycle count
+/// at most ~doubles relative to one thread (the pipe was 1/4 utilized
+/// before).
+#[test]
+fn smt_scales_throughput() {
+    let mut gen = Gen::new(0x5111);
+    for _ in 0..48 {
+        let prog = gen.program(4, 4, 16);
         let body = Program { body: prog };
         let iters = 4;
         let mut one = CoreSim::new(PipelineConfig::default(), vec![0.0; MEM_ELEMS]);
@@ -170,47 +213,56 @@ proptest! {
         let c4 = four.run(&body, &Program::new(), iters, &threads);
         let f4 = four.stats().fmadds;
 
-        prop_assert_eq!(f4, 4 * f1);
+        assert_eq!(f4, 4 * f1);
         // Four threads share one pipe: never faster than one thread's
         // wall-clock divided by... (they can't be faster than the work)
         // and never worse than 4x plus stall noise.
-        prop_assert!(c4 >= c1, "more work cannot take fewer cycles: {c4} vs {c1}");
-        prop_assert!(c4 <= 4 * c1 + 2000, "c4={c4} c1={c1}");
+        assert!(c4 >= c1, "more work cannot take fewer cycles: {c4} vs {c1}");
+        assert!(c4 <= 4 * c1 + 2000, "c4={c4} c1={c1}");
     }
 }
 
 mod cache_props {
-    use super::*;
+    use super::Gen;
     use phi_knc::cache::{Cache, CacheConfig};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Immediately re-accessing any address hits; the hit/miss
-        /// counters account for every access.
-        #[test]
-        fn rehit_and_accounting(accesses in prop::collection::vec(0usize..100_000, 1..200)) {
+    /// Immediately re-accessing any address hits; the hit/miss
+    /// counters account for every access.
+    #[test]
+    fn rehit_and_accounting() {
+        let mut gen = Gen::new(0xCAC4E);
+        for _ in 0..64 {
+            let n = gen.index(1, 200);
+            let accesses: Vec<usize> = (0..n).map(|_| gen.index(0, 100_000)).collect();
             let mut c = Cache::new(CacheConfig::knc_l1());
             let mut total = 0u64;
             for &a in &accesses {
                 c.access(a);
-                prop_assert!(c.access(a), "immediate re-access must hit");
+                assert!(c.access(a), "immediate re-access must hit");
                 total += 2;
             }
             let (h, m) = c.stats();
-            prop_assert_eq!(h + m, total);
-            prop_assert!(m as usize <= accesses.len());
+            assert_eq!(h + m, total);
+            assert!(m as usize <= accesses.len());
         }
+    }
 
-        /// A working set no larger than one set's associativity never
-        /// thrashes: after a warm pass, everything hits.
-        #[test]
-        fn small_working_set_stays_resident(lines in prop::collection::hash_set(0usize..8, 1..8)) {
+    /// A working set no larger than one set's associativity never
+    /// thrashes: after a warm pass, everything hits.
+    #[test]
+    fn small_working_set_stays_resident() {
+        let mut gen = Gen::new(0x9E51D);
+        for _ in 0..64 {
+            let nlines = gen.index(1, 8);
+            let lines: std::collections::HashSet<usize> =
+                (0..nlines).map(|_| gen.index(0, 8)).collect();
             let mut c = Cache::new(CacheConfig::knc_l1());
             let addrs: Vec<usize> = lines.iter().map(|&l| l * 64 * 64).collect(); // same set
-            for &a in &addrs { c.access(a); }
             for &a in &addrs {
-                prop_assert!(c.contains(a), "addr {a} evicted from its set");
+                c.access(a);
+            }
+            for &a in &addrs {
+                assert!(c.contains(a), "addr {a} evicted from its set");
             }
         }
     }

@@ -165,8 +165,7 @@ mod tests {
         assert!(vals.iter().all(|v| (-0.5..0.5).contains(v)));
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        let distinct: std::collections::HashSet<u64> =
-            vals.iter().map(|v| v.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = vals.iter().map(|v| v.to_bits()).collect();
         assert!(distinct.len() > 990);
     }
 
@@ -197,10 +196,7 @@ mod tests {
     fn dd_matrix_is_diagonally_dominant() {
         let m = MatGen::new(3).matrix_dd::<f64>(32);
         for i in 0..32 {
-            let off: f64 = (0..32)
-                .filter(|&j| j != i)
-                .map(|j| m[(i, j)].abs())
-                .sum();
+            let off: f64 = (0..32).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
             assert!(m[(i, i)].abs() > off, "row {i} not dominant");
         }
     }

@@ -19,7 +19,10 @@ pub fn vec_norm_one<T: Scalar>(x: &[T]) -> f64 {
 
 /// 2-norm of a vector.
 pub fn vec_norm_two<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+    x.iter()
+        .map(|v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// ∞-norm of a matrix: max row sum of |a_ij| (the norm HPL's residual

@@ -65,9 +65,8 @@ pub fn hpl_residual<T: Scalar>(a: &MatrixView<'_, T>, x: &[T], b: &[T]) -> Resid
         .zip(b)
         .map(|(axi, bi)| (axi - bi.to_f64()).abs())
         .fold(0.0, f64::max);
-    let denom = T::EPSILON.to_f64()
-        * (mat_norm_inf(a) * vec_norm_inf(x) + vec_norm_inf(b))
-        * n as f64;
+    let denom =
+        T::EPSILON.to_f64() * (mat_norm_inf(a) * vec_norm_inf(x) + vec_norm_inf(b)) * n as f64;
     let scaled = if denom == 0.0 {
         if raw == 0.0 {
             0.0

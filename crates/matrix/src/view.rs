@@ -292,10 +292,7 @@ impl<'a, T: Scalar> MatrixViewMut<'a, T> {
         for j in 0..self.cols {
             // SAFETY: both offsets are in-bounds; a != b so they are distinct.
             unsafe {
-                std::ptr::swap(
-                    self.ptr.add(a * self.ld + j),
-                    self.ptr.add(b * self.ld + j),
-                );
+                std::ptr::swap(self.ptr.add(a * self.ld + j), self.ptr.add(b * self.ld + j));
             }
         }
     }

@@ -2,22 +2,42 @@
 //! splits must tile without aliasing, the generator must be stream-stable,
 //! and the residual check must accept true solutions and reject corrupted
 //! ones.
+//!
+//! Driven by the in-repo deterministic [`HplRng`] (no external proptest
+//! dependency): each property is checked over a fixed-seed sweep of
+//! randomized cases, so failures are reproducible bit-identically.
 
 use phi_matrix::{hpl_residual, HplRng, MatGen, Matrix};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Deterministic case generator for the sweeps below.
+struct Cases(HplRng);
 
-    /// Sub-views window the parent exactly.
-    #[test]
-    fn sub_views_are_exact_windows(
-        rows in 1usize..24,
-        cols in 1usize..24,
-        frac in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
-        let m = MatGen::new(seed).matrix::<f64>(rows, cols);
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self(HplRng::new(seed))
+    }
+    /// Uniform integer in `[lo, hi)`.
+    fn index(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.0.next_u64() % (hi - lo) as u64) as usize
+    }
+    /// Uniform float in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        self.0.next_value() + 0.5
+    }
+    fn seed(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Sub-views window the parent exactly.
+#[test]
+fn sub_views_are_exact_windows() {
+    let mut cases = Cases::new(0xA11CE);
+    for _ in 0..96 {
+        let rows = cases.index(1, 24);
+        let cols = cases.index(1, 24);
+        let frac = cases.unit();
+        let m = MatGen::new(cases.seed()).matrix::<f64>(rows, cols);
         let r0 = ((rows as f64) * frac * 0.5) as usize;
         let c0 = ((cols as f64) * frac * 0.3) as usize;
         let nr = rows - r0;
@@ -25,27 +45,27 @@ proptest! {
         let v = m.sub(r0, c0, nr, nc);
         for i in 0..nr {
             for j in 0..nc {
-                prop_assert_eq!(v.at(i, j), m[(r0 + i, c0 + j)]);
+                assert_eq!(v.at(i, j), m[(r0 + i, c0 + j)]);
             }
         }
         let copied = v.to_matrix();
-        prop_assert_eq!(copied.rows(), nr);
+        assert_eq!(copied.rows(), nr);
         for i in 0..nr {
-            prop_assert_eq!(copied.row(i), v.row(i));
+            assert_eq!(copied.row(i), v.row(i));
         }
     }
+}
 
-    /// Row and column splits tile the matrix: writing disjoint constants
-    /// through the two halves colors every element exactly once.
-    #[test]
-    fn mut_splits_tile_without_aliasing(
-        rows in 1usize..16,
-        cols in 1usize..16,
-        at_row in 0usize..16,
-        at_col in 0usize..16,
-    ) {
-        let at_r = at_row.min(rows);
-        let at_c = at_col.min(cols);
+/// Row and column splits tile the matrix: writing disjoint constants
+/// through the two halves colors every element exactly once.
+#[test]
+fn mut_splits_tile_without_aliasing() {
+    let mut cases = Cases::new(0xB0B);
+    for _ in 0..96 {
+        let rows = cases.index(1, 16);
+        let cols = cases.index(1, 16);
+        let at_r = cases.index(0, 16).min(rows);
+        let at_c = cases.index(0, 16).min(cols);
 
         let mut m = Matrix::<f64>::zeros(rows, cols);
         {
@@ -56,7 +76,7 @@ proptest! {
         for i in 0..rows {
             for j in 0..cols {
                 let expect = if i < at_r { 1.0 } else { 2.0 };
-                prop_assert_eq!(m[(i, j)], expect);
+                assert_eq!(m[(i, j)], expect);
             }
         }
 
@@ -69,87 +89,94 @@ proptest! {
         for i in 0..rows {
             for j in 0..cols {
                 let expect = if j < at_c { 3.0 } else { 4.0 };
-                prop_assert_eq!(m2[(i, j)], expect);
+                assert_eq!(m2[(i, j)], expect);
             }
         }
     }
+}
 
-    /// swap_rows is an involution and touches only the two rows.
-    #[test]
-    fn swap_rows_involution(
-        rows in 2usize..16,
-        cols in 1usize..12,
-        a in 0usize..16,
-        b in 0usize..16,
-        seed in 0u64..1000,
-    ) {
-        let a = a % rows;
-        let b = b % rows;
-        let orig = MatGen::new(seed).matrix::<f64>(rows, cols);
+/// swap_rows is an involution and touches only the two rows.
+#[test]
+fn swap_rows_involution() {
+    let mut cases = Cases::new(0x5EED);
+    for _ in 0..96 {
+        let rows = cases.index(2, 16);
+        let cols = cases.index(1, 12);
+        let a = cases.index(0, 16) % rows;
+        let b = cases.index(0, 16) % rows;
+        let orig = MatGen::new(cases.seed()).matrix::<f64>(rows, cols);
         let mut m = orig.clone();
         m.swap_rows(a, b);
         if a != b {
-            prop_assert_eq!(m.row(a), orig.row(b));
-            prop_assert_eq!(m.row(b), orig.row(a));
+            assert_eq!(m.row(a), orig.row(b));
+            assert_eq!(m.row(b), orig.row(a));
         }
         for i in (0..rows).filter(|&i| i != a && i != b) {
-            prop_assert_eq!(m.row(i), orig.row(i));
+            assert_eq!(m.row(i), orig.row(i));
         }
         m.swap_rows(a, b);
-        prop_assert!(m.approx_eq(&orig, 0.0));
+        assert!(m.approx_eq(&orig, 0.0));
     }
+}
 
-    /// The LCG jump is exactly k sequential steps, for random k and seeds.
-    #[test]
-    fn rng_jump_consistency(seed in any::<u64>(), k in 0u64..5000) {
+/// The LCG jump is exactly k sequential steps, for random k and seeds.
+#[test]
+fn rng_jump_consistency() {
+    let mut cases = Cases::new(0x10C6);
+    for _ in 0..96 {
+        let seed = cases.seed();
+        let k = cases.index(0, 5000) as u64;
         let mut seq = HplRng::new(seed);
         for _ in 0..k {
             seq.next_u64();
         }
         let mut jmp = HplRng::new(seed);
         jmp.jump(k);
-        prop_assert_eq!(seq, jmp);
+        assert_eq!(seq, jmp);
     }
+}
 
-    /// Distributed generation tiles the global matrix for any window.
-    #[test]
-    fn window_generation_matches_global(
-        n in 2usize..24,
-        r0 in 0usize..24,
-        c0 in 0usize..24,
-        seed in 0u64..1000,
-    ) {
-        let r0 = r0 % n;
-        let c0 = c0 % n;
-        let gen = MatGen::new(seed);
+/// Distributed generation tiles the global matrix for any window.
+#[test]
+fn window_generation_matches_global() {
+    let mut cases = Cases::new(0x71155);
+    for _ in 0..96 {
+        let n = cases.index(2, 24);
+        let r0 = cases.index(0, 24) % n;
+        let c0 = cases.index(0, 24) % n;
+        let gen = MatGen::new(cases.seed());
         let full = gen.matrix::<f64>(n, n);
         let mut win = Matrix::<f64>::zeros(n - r0, n - c0);
         gen.fill_window(&mut win, r0, c0, n);
         for i in 0..n - r0 {
             for j in 0..n - c0 {
-                prop_assert_eq!(win[(i, j)], full[(r0 + i, c0 + j)]);
+                assert_eq!(win[(i, j)], full[(r0 + i, c0 + j)]);
             }
         }
     }
+}
 
-    /// The residual check accepts exact identity-system solutions and
-    /// rejects any solution with one sufficiently corrupted entry.
-    #[test]
-    fn residual_discriminates(
-        n in 1usize..32,
-        idx in 0usize..32,
-        seed in 0u64..1000,
-    ) {
-        let idx = idx % n;
+/// The residual check accepts exact identity-system solutions and
+/// rejects any solution with one sufficiently corrupted entry.
+#[test]
+fn residual_discriminates() {
+    let mut cases = Cases::new(0xD15C);
+    for _ in 0..96 {
+        let n = cases.index(1, 32);
+        let idx = cases.index(0, 32) % n;
         let a = Matrix::<f64>::identity(n);
-        let b = MatGen::new(seed).rhs::<f64>(n);
+        let b = MatGen::new(cases.seed()).rhs::<f64>(n);
         let report = hpl_residual(&a.view(), &b, &b);
-        prop_assert!(report.passed);
-        prop_assert_eq!(report.raw_residual, 0.0);
+        assert!(report.passed);
+        assert_eq!(report.raw_residual, 0.0);
 
         let mut bad = b.clone();
         bad[idx] += 1.0 + bad[idx].abs();
         let report = hpl_residual(&a.view(), &bad, &b);
-        prop_assert!(!report.passed, "corruption must fail: {}", report.scaled_residual);
+        assert!(
+            !report.passed,
+            "corruption must fail: {}",
+            report.scaled_residual
+        );
     }
 }

@@ -21,7 +21,7 @@
 //! (look-ahead), overlapping the next stage's panel factorization with
 //! the remainder of the current stage's updates.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A schedulable unit of LU work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -113,7 +113,7 @@ impl DagScheduler {
     /// barrier). A task's stage index is `panel` for `Factor` and `stage`
     /// for `Update`.
     pub fn available_task_limited(&self, stage_limit: usize) -> Option<Task> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         let n = self.npanels;
 
         // 1. Look-ahead: factor any panel that is fully updated.
@@ -144,7 +144,7 @@ impl DagScheduler {
     /// through `min(panel, stage_limit)` stages. This is the super-stage
     /// completion condition checked before the regrouping barrier.
     pub fn phase_complete(&self, stage_limit: usize) -> bool {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         if g.in_flight > 0 {
             return false;
         }
@@ -167,7 +167,7 @@ impl DagScheduler {
     /// out-of-order update) — these indicate scheduler bugs and must
     /// never be silently absorbed.
     pub fn commit(&self, task: Task) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         match task {
             Task::Factor { panel } => {
                 assert!(!g.factored[panel], "panel {panel} factored twice");
@@ -196,20 +196,20 @@ impl DagScheduler {
 
     /// True when every panel is factored.
     pub fn is_complete(&self) -> bool {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         g.factored.iter().all(|&f| f)
     }
 
     /// True when no task is runnable *and* none are checked out — used by
     /// workers to distinguish "done" from "wait for a dependency".
     pub fn is_drained(&self) -> bool {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         g.in_flight == 0 && g.factored.iter().all(|&f| f)
     }
 
     /// Progress snapshot for monitoring and tests.
     pub fn snapshot(&self) -> DagSnapshot {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         DagSnapshot {
             progress: g.progress.clone(),
             factored: g.factored.clone(),
@@ -330,7 +330,7 @@ mod tests {
         let dag = DagScheduler::new(4);
         let f = dag.available_task().unwrap();
         dag.commit(f); // Factor(0)
-        // Forge an update that skips stage 0.
+                       // Forge an update that skips stage 0.
         dag.commit(Task::Update { stage: 0, panel: 3 });
         dag.commit(Task::Update { stage: 0, panel: 3 });
     }
@@ -341,9 +341,9 @@ mod tests {
         let n = 12;
         let dag = DagScheduler::new(n);
         let executed = AtomicUsize::new(0);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     match dag.available_task() {
                         Some(t) => {
                             // Simulate work.
@@ -360,8 +360,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(executed.load(Ordering::Relaxed), dag.total_tasks());
         assert!(dag.is_complete());
     }

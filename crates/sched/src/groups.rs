@@ -14,9 +14,8 @@
 //! but advances virtual time instead of running kernels.
 
 use crate::dag::{DagScheduler, Task};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How threads are partitioned into groups.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,26 +74,27 @@ pub fn run_group_scheduled<F>(dag: &DagScheduler, plan: &GroupPlan, execute: F)
 where
     F: Fn(Task, usize, usize) + Sync,
 {
-    let channels: Vec<Arc<GroupChannel>> =
-        (0..plan.groups).map(|_| Arc::new(GroupChannel::new())).collect();
+    let channels: Vec<Arc<GroupChannel>> = (0..plan.groups)
+        .map(|_| Arc::new(GroupChannel::new()))
+        .collect();
     let execute = &execute;
 
-    crossbeam::scope(|s| {
-        for g in 0..plan.groups {
-            let ch = channels[g].clone();
+    std::thread::scope(|s| {
+        for ch in channels.iter().take(plan.groups) {
+            let ch = ch.clone();
             let size = plan.threads_per_group;
             // Master thread of group g.
-            s.spawn(move |s2| {
+            s.spawn(move || {
                 // Spawn the group's member threads.
                 for member in 1..size {
                     let ch = ch.clone();
-                    s2.spawn(move |_| {
+                    s.spawn(move || {
                         let mut seen = 0u64;
                         loop {
                             let (task, done) = {
-                                let mut slot = ch.slot.lock();
+                                let mut slot = ch.slot.lock().unwrap();
                                 while slot.0 == seen {
-                                    ch.cv.wait(&mut slot);
+                                    slot = ch.cv.wait(slot).unwrap();
                                 }
                                 seen = slot.0;
                                 (slot.1, slot.2)
@@ -116,7 +116,7 @@ where
                         Some(task) => {
                             ch.finished.store(0, Ordering::Release);
                             {
-                                let mut slot = ch.slot.lock();
+                                let mut slot = ch.slot.lock().unwrap();
                                 slot.0 += 1;
                                 slot.1 = Some(task);
                                 ch.cv.notify_all();
@@ -132,7 +132,7 @@ where
                         None => {
                             if dag.is_drained() {
                                 // Broadcast shutdown.
-                                let mut slot = ch.slot.lock();
+                                let mut slot = ch.slot.lock().unwrap();
                                 slot.0 += 1;
                                 slot.1 = None;
                                 slot.2 = true;
@@ -145,8 +145,7 @@ where
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 #[cfg(test)]

@@ -145,15 +145,15 @@ mod tests {
     #[test]
     fn concurrent_steals_partition_exactly() {
         let d = TileDeque::new(10_000);
-        let (front_claims, back_claims) = crossbeam::scope(|s| {
-            let f = s.spawn(|_| {
+        let (front_claims, back_claims) = std::thread::scope(|s| {
+            let f = s.spawn(|| {
                 let mut v = Vec::new();
                 while let Some(t) = d.steal_front() {
                     v.push(t);
                 }
                 v
             });
-            let b = s.spawn(|_| {
+            let b = s.spawn(|| {
                 let mut v = Vec::new();
                 while let Some(t) = d.steal_back() {
                     v.push(t);
@@ -161,8 +161,7 @@ mod tests {
                 v
             });
             (f.join().unwrap(), b.join().unwrap())
-        })
-        .unwrap();
+        });
         let mut all: Vec<usize> = front_claims.iter().chain(&back_claims).copied().collect();
         assert_eq!(all.len(), 10_000, "every tile claimed");
         let set: HashSet<_> = all.iter().copied().collect();

@@ -60,7 +60,10 @@ where
     let ladder: Vec<usize> = (min_group..=total_threads)
         .filter(|d| total_threads.is_multiple_of(*d))
         .collect();
-    assert!(!ladder.is_empty(), "min_group must not exceed total_threads");
+    assert!(
+        !ladder.is_empty(),
+        "min_group must not exceed total_threads"
+    );
     let mut plan: Vec<SuperStage> = Vec::new();
     let mut level = 0usize;
     let mut start = 0usize;
@@ -72,8 +75,7 @@ where
         let mut needed = level;
         while needed + 1 < ladder.len()
             && panel_hide_ratio(stage, ladder[needed]) > 1.0
-            && panel_hide_ratio(stage, ladder[needed + 1])
-                < panel_hide_ratio(stage, ladder[needed])
+            && panel_hide_ratio(stage, ladder[needed + 1]) < panel_hide_ratio(stage, ladder[needed])
         {
             needed += 1;
         }
@@ -160,9 +162,7 @@ mod tests {
     fn climbing_stops_at_the_panel_sweet_spot() {
         // Ratio > 1 everywhere but minimized at 8 threads: the plan must
         // not climb past the minimum even though the panel never hides.
-        let plan = superstage_plan(10, 64, 4, |_, tpg| {
-            2.0 + (tpg as f64 - 8.0).abs()
-        });
+        let plan = superstage_plan(10, 64, 4, |_, tpg| 2.0 + (tpg as f64 - 8.0).abs());
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].threads_per_group, 8);
     }

@@ -1,21 +1,44 @@
 //! Property tests for the scheduling structures: any interleaving of
 //! fetch/commit must respect the LU dependency DAG, tile deques must
 //! partition exactly, and super-stage plans must tile the stage range.
+//!
+//! Driven by a local deterministic LCG (no external proptest dependency):
+//! each property runs over a fixed-seed sweep of randomized cases.
 
 use phi_sched::{superstage_plan, DagScheduler, Task, TileDeque};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Minimal LCG (same constants as phi-matrix's HplRng) for case sweeps.
+struct Cases(u64);
 
-    /// Any greedy drain order (randomized by a per-step choice of how
-    /// many tasks to batch before committing) executes every task exactly
-    /// once and never violates a dependency.
-    #[test]
-    fn dag_valid_under_random_batching(
-        npanels in 1usize..14,
-        batch_seq in prop::collection::vec(1usize..5, 0..200),
-    ) {
+impl Cases {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn index(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn flag(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Any greedy drain order (randomized by a per-step choice of how
+/// many tasks to batch before committing) executes every task exactly
+/// once and never violates a dependency.
+#[test]
+fn dag_valid_under_random_batching() {
+    let mut cases = Cases(0xDA6);
+    for _ in 0..64 {
+        let npanels = cases.index(1, 14);
+        let nbatches = cases.index(0, 200);
+        let batch_seq: Vec<usize> = (0..nbatches).map(|_| cases.index(1, 5)).collect();
         let dag = DagScheduler::new(npanels);
         let mut factored = vec![false; npanels];
         let mut progress = vec![0usize; npanels];
@@ -35,7 +58,7 @@ proptest! {
             if pending.is_empty() {
                 // Nothing fetchable and nothing in flight would deadlock;
                 // the scheduler must never reach that state mid-run.
-                prop_assert!(dag.is_drained(), "live-lock at {executed} tasks");
+                assert!(dag.is_drained(), "live-lock at {executed} tasks");
                 break;
             }
             // Commit in reverse order (worst case for any accidental
@@ -43,13 +66,13 @@ proptest! {
             while let Some(t) = pending.pop() {
                 match t {
                     Task::Factor { panel } => {
-                        prop_assert_eq!(progress[panel], panel);
-                        prop_assert!(!factored[panel]);
+                        assert_eq!(progress[panel], panel);
+                        assert!(!factored[panel]);
                         factored[panel] = true;
                     }
                     Task::Update { stage, panel } => {
-                        prop_assert!(factored[stage]);
-                        prop_assert_eq!(progress[panel], stage);
+                        assert!(factored[stage]);
+                        assert_eq!(progress[panel], stage);
                         progress[panel] = stage + 1;
                     }
                 }
@@ -57,87 +80,99 @@ proptest! {
                 executed += 1;
             }
         }
-        prop_assert_eq!(executed, dag.total_tasks());
-        prop_assert!(dag.is_complete());
+        assert_eq!(executed, dag.total_tasks());
+        assert!(dag.is_complete());
     }
+}
 
-    /// Stage-limited draining then full draining always completes, for
-    /// any split point.
-    #[test]
-    fn dag_phase_split_completes(
-        npanels in 1usize..14,
-        split_frac in 0.0f64..1.0,
-    ) {
+/// Stage-limited draining then full draining always completes, for
+/// any split point.
+#[test]
+fn dag_phase_split_completes() {
+    let mut cases = Cases(0x5917);
+    for _ in 0..64 {
+        let npanels = cases.index(1, 14);
+        let split_frac = cases.unit();
         let dag = DagScheduler::new(npanels);
         let split = ((npanels as f64 * split_frac) as usize).min(npanels);
         while let Some(t) = dag.available_task_limited(split) {
             dag.commit(t);
         }
-        prop_assert!(dag.phase_complete(split));
+        assert!(dag.phase_complete(split));
         while let Some(t) = dag.available_task() {
             dag.commit(t);
         }
-        prop_assert!(dag.is_complete());
+        assert!(dag.is_complete());
     }
+}
 
-    /// Front/back stealing in any interleaving claims each tile exactly
-    /// once, fronts ascending, backs descending.
-    #[test]
-    fn tile_deque_partitions(
-        count in 0usize..200,
-        coin in prop::collection::vec(any::<bool>(), 0..256),
-    ) {
+/// Front/back stealing in any interleaving claims each tile exactly
+/// once, fronts ascending, backs descending.
+#[test]
+fn tile_deque_partitions() {
+    let mut cases = Cases(0x7113);
+    for _ in 0..64 {
+        let count = cases.index(0, 200);
+        let ncoins = cases.index(0, 256);
+        let coin: Vec<bool> = (0..ncoins).map(|_| cases.flag()).collect();
         let d = TileDeque::new(count);
         let mut fronts = Vec::new();
         let mut backs = Vec::new();
         let mut coins = coin.into_iter().cycle();
         loop {
             let take_front = coins.next().unwrap_or(true);
-            let got = if take_front { d.steal_front() } else { d.steal_back() };
+            let got = if take_front {
+                d.steal_front()
+            } else {
+                d.steal_back()
+            };
             match got {
                 Some(t) if take_front => fronts.push(t),
                 Some(t) => backs.push(t),
                 None => {
                     // The other side must also be empty.
-                    prop_assert!(d.steal_front().is_none());
-                    prop_assert!(d.steal_back().is_none());
+                    assert!(d.steal_front().is_none());
+                    assert!(d.steal_back().is_none());
                     break;
                 }
             }
         }
-        prop_assert_eq!(fronts.len() + backs.len(), count);
-        prop_assert!(fronts.windows(2).all(|w| w[1] == w[0] + 1));
-        prop_assert!(backs.windows(2).all(|w| w[1] + 1 == w[0]));
+        assert_eq!(fronts.len() + backs.len(), count);
+        assert!(fronts.windows(2).all(|w| w[1] == w[0] + 1));
+        assert!(backs.windows(2).all(|w| w[1] + 1 == w[0]));
         if let (Some(&fmax), Some(&bmin)) = (fronts.last(), backs.last()) {
-            prop_assert!(fmax < bmin, "front {fmax} crossed back {bmin}");
+            assert!(fmax < bmin, "front {fmax} crossed back {bmin}");
         }
     }
+}
 
-    /// Super-stage plans tile `0..npanels` contiguously with group sizes
-    /// from the divisor ladder, whatever the ratio function does.
-    #[test]
-    fn superstage_plan_tiles_the_range(
-        npanels in 0usize..80,
-        total in prop::sample::select(vec![16usize, 60, 240]),
-        noise in prop::collection::vec(0.0f64..3.0, 1..40),
-    ) {
+/// Super-stage plans tile `0..npanels` contiguously with group sizes
+/// from the divisor ladder, whatever the ratio function does.
+#[test]
+fn superstage_plan_tiles_the_range() {
+    let mut cases = Cases(0x57A6E);
+    for _ in 0..64 {
+        let npanels = cases.index(0, 80);
+        let total = [16usize, 60, 240][cases.index(0, 3)];
+        let nnoise = cases.index(1, 40);
+        let noise: Vec<f64> = (0..nnoise).map(|_| cases.unit() * 3.0).collect();
         let plan = superstage_plan(npanels, total, 4, |stage, tpg| {
             noise[stage % noise.len()] * 8.0 / tpg as f64
         });
         if npanels == 0 {
-            prop_assert!(plan.is_empty());
-            return Ok(());
+            assert!(plan.is_empty());
+            continue;
         }
-        prop_assert_eq!(plan[0].first_stage, 0);
-        prop_assert_eq!(plan.last().unwrap().end_stage, npanels);
+        assert_eq!(plan[0].first_stage, 0);
+        assert_eq!(plan.last().unwrap().end_stage, npanels);
         for w in plan.windows(2) {
-            prop_assert_eq!(w[0].end_stage, w[1].first_stage);
-            prop_assert!(w[1].threads_per_group > w[0].threads_per_group);
+            assert_eq!(w[0].end_stage, w[1].first_stage);
+            assert!(w[1].threads_per_group > w[0].threads_per_group);
         }
         for ss in &plan {
-            prop_assert!(!ss.is_empty());
-            prop_assert_eq!(total % ss.threads_per_group, 0, "ladder divisor");
-            prop_assert!(ss.threads_per_group >= 4);
+            assert!(!ss.is_empty());
+            assert_eq!(total % ss.threads_per_group, 0, "ladder divisor");
+            assert!(ss.threads_per_group >= 4);
         }
     }
 }

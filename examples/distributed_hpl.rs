@@ -8,7 +8,10 @@ use linpack_phi::hpl::distributed::factorize_distributed;
 use linpack_phi::matrix::{hpl_residual, MatGen};
 
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let n = args.first().copied().unwrap_or(256);
     let q = args.get(1).copied().unwrap_or(4);
     let nb = 32;

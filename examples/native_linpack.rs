@@ -18,7 +18,10 @@ fn main() {
         .unwrap_or(30_720);
 
     println!("Native Linpack on simulated Knights Corner (NB = 256)\n");
-    println!("{:>8} {:>14} {:>14} {:>9}", "N", "static GF", "dynamic GF", "dyn eff");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}",
+        "N", "static GF", "dynamic GF", "dyn eff"
+    );
     for n in [1024, 2048, 4096, 8192, 16384, n_max] {
         if n > n_max {
             break;

@@ -14,11 +14,11 @@
 //! residual; the others run the calibrated timed backends.
 
 use linpack_phi::fabric::ProcessGrid;
+use linpack_phi::hpl::hpldat::{paper_table3_dat, HplDat};
 use linpack_phi::hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
 use linpack_phi::hpl::native::cluster::{simulate_native_cluster, NativeClusterConfig};
 use linpack_phi::hpl::native::{solve_parallel, NativeConfig, NativeScheme};
 use linpack_phi::hpl::offload::OffloadModel;
-use linpack_phi::hpl::hpldat::{paper_table3_dat, HplDat};
 use linpack_phi::hpl::refine::solve_mixed_precision;
 use linpack_phi::knc::Precision;
 use linpack_phi::matrix::{hpl_residual, MatGen};
@@ -117,7 +117,10 @@ fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let (p, q) = args.grid()?;
             let cards: usize = args.get("cards", 1)?;
             let mem: f64 = args.get("mem", 64.0)?;
-            let la = match args.get::<String>("lookahead", "pipelined".into())?.as_str() {
+            let la = match args
+                .get::<String>("lookahead", "pipelined".into())?
+                .as_str()
+            {
                 "none" => Lookahead::None,
                 "basic" => Lookahead::Basic,
                 "pipelined" => Lookahead::Pipelined,
@@ -176,21 +179,25 @@ fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 "mixed precision N={n}: {} sweeps, scaled residual {:.3e} -> {}",
                 res.iterations,
                 res.residual.scaled_residual,
-                if res.residual.passed { "HPL PASS" } else { "HPL FAIL" }
+                if res.residual.passed {
+                    "HPL PASS"
+                } else {
+                    "HPL FAIL"
+                }
             ))
         }
         "dat" => {
             let cards: usize = args.get("cards", 1)?;
             let mem: f64 = args.get("mem", 64.0)?;
             let text = match args.0.get("file") {
-                Some(path) => std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?,
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+                }
                 None => paper_table3_dat().to_string(),
             };
             let dat = HplDat::parse(&text).map_err(|e| e.to_string())?;
-            let mut out = String::from(
-                "T/V                N    NB     P     Q          TFLOPS      eff\n",
-            );
+            let mut out =
+                String::from("T/V                N    NB     P     Q          TFLOPS      eff\n");
             for cfg in dat.expand(cards, mem) {
                 if cfg.bytes_per_node() > cfg.host_mem_gib * 1.073741824e9 * 0.95 {
                     out.push_str(&format!(
@@ -274,8 +281,17 @@ mod tests {
 
     #[test]
     fn solve_command_end_to_end() {
-        let a = Args::parse(&argv(&["--n", "96", "--nb", "16", "--threads", "2", "--tpg", "1"]))
-            .unwrap();
+        let a = Args::parse(&argv(&[
+            "--n",
+            "96",
+            "--nb",
+            "16",
+            "--threads",
+            "2",
+            "--tpg",
+            "1",
+        ]))
+        .unwrap();
         let out = run("solve", &a).unwrap();
         assert!(out.contains("HPL PASS"), "{out}");
     }

@@ -34,7 +34,11 @@ fn parallel_and_sequential_solutions_agree_bitwise_on_pivots() {
     let mut seq = a.clone();
     let piv_seq = getrf(&mut seq.view_mut(), nb, &BlockSizes::default()).unwrap();
 
-    for plan in [GroupPlan::new(2, 1), GroupPlan::new(4, 2), GroupPlan::new(6, 3)] {
+    for plan in [
+        GroupPlan::new(2, 1),
+        GroupPlan::new(4, 2),
+        GroupPlan::new(6, 3),
+    ] {
         let mut par = a.clone();
         let piv_par = factorize_parallel(&mut par, nb, &plan).unwrap();
         assert_eq!(piv_seq, piv_par, "plan {plan:?}");
@@ -98,7 +102,9 @@ fn offload_trailing_update_inside_lu_stage() {
         let u12 = manual.sub(0, nb, nb, n - nb).to_matrix();
         let mut a22 = manual.sub(nb, nb, n - nb, n - nb).to_matrix();
         offload_gemm_numeric(&l21, &u12, &mut a22, (3, 3), 1, 1);
-        manual.sub_mut(nb, nb, n - nb, n - nb).copy_from(&a22.view());
+        manual
+            .sub_mut(nb, nb, n - nb, n - nb)
+            .copy_from(&a22.view());
         assert_eq!(&piv[..nb], &ipiv0[..]);
     }
     // The first panel + first trailing update must agree with getrf's
@@ -128,7 +134,9 @@ fn offload_trailing_update_inside_lu_stage() {
         let u12 = expect.sub(0, nb, nb, n - nb).to_matrix();
         let mut a22 = expect.sub(nb, nb, n - nb, n - nb).to_matrix();
         gemm_naive(-1.0, &l21.view(), &u12.view(), 1.0, &mut a22.view_mut());
-        expect.sub_mut(nb, nb, n - nb, n - nb).copy_from(&a22.view());
+        expect
+            .sub_mut(nb, nb, n - nb, n - nb)
+            .copy_from(&a22.view());
     }
     assert!(
         manual.max_abs_diff(&expect) < 1e-11,

@@ -98,7 +98,10 @@ fn lookahead_ladder() {
     let none = run(Lookahead::None);
     let basic = run(Lookahead::Basic);
     let pipe = run(Lookahead::Pipelined);
-    assert!(none < basic && basic < pipe, "{none:.3} {basic:.3} {pipe:.3}");
+    assert!(
+        none < basic && basic < pipe,
+        "{none:.3} {basic:.3} {pipe:.3}"
+    );
     assert!(
         (0.04..0.12).contains(&(pipe - basic)),
         "pipelining gain {:.3}",
