@@ -1,0 +1,15 @@
+//! Runs the `phi-lint` static↔dynamic consistency gate: analyzes the
+//! Fig. 2 kernels, cross-checks the static cycle bound against the
+//! emulator, and proves every diagnostic on its broken fixture. Exits
+//! non-zero on any violation (the CI gate).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let gate = phi_bench::lintgate::run();
+    print!("{}", gate.render());
+    if gate.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

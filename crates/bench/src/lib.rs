@@ -13,6 +13,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod faults;
 pub mod format;
+pub mod lintgate;
 
 pub use experiments::*;
 pub use faults::{fault_campaign_render, fault_campaign_rows, CampaignRow};

@@ -28,6 +28,7 @@
 //! by unit and property tests; the HPL residual criterion is checked in the
 //! integration suites of `phi-hpl`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod colmajor;

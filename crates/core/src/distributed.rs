@@ -56,6 +56,12 @@ pub enum DistError {
         /// The rank that observed the hangup.
         rank: usize,
     },
+    /// A rank's worker thread panicked instead of returning a result;
+    /// the panic is contained and surfaced as an error to the caller.
+    RankPanicked {
+        /// The rank whose thread died.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -67,6 +73,9 @@ impl std::fmt::Display for DistError {
             }
             DistError::Disconnected { rank } => {
                 write!(f, "rank {rank}: all peer channels disconnected")
+            }
+            DistError::RankPanicked { rank } => {
+                write!(f, "rank {rank}: worker thread panicked")
             }
         }
     }
@@ -410,7 +419,14 @@ pub fn factorize_distributed_with<T: Scalar>(
             .into_iter()
             .map(|r| s.spawn(move || r.run(&bs)))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join()
+                    .unwrap_or_else(|_| Err(DistError::RankPanicked { rank }))
+            })
+            .collect()
     });
 
     // Reassemble the global factored matrix and the pivot sequence.
@@ -441,6 +457,23 @@ mod tests {
     use super::*;
     use phi_blas::lu::getrf;
     use phi_matrix::{hpl_residual, MatGen};
+
+    #[test]
+    fn dist_error_messages_name_the_rank() {
+        assert_eq!(
+            DistError::RankPanicked { rank: 3 }.to_string(),
+            "rank 3: worker thread panicked"
+        );
+        assert!(DistError::PeerLost {
+            rank: 1,
+            attempts: 7
+        }
+        .to_string()
+        .contains("7 recv attempts"));
+        assert!(DistError::Disconnected { rank: 2 }
+            .to_string()
+            .contains("rank 2"));
+    }
 
     #[test]
     fn distributed_matches_sequential_for_all_grid_widths() {

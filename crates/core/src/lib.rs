@@ -25,6 +25,7 @@
 //!   time from the calibrated `phi-knc` / `phi-xeon` machine models (used
 //!   at paper scale by the benchmark regenerators).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod distributed;

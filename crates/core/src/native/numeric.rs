@@ -52,7 +52,10 @@ impl SharedMatrix {
     /// Returns a mutable window; caller must guarantee disjointness.
     #[allow(clippy::mut_from_ref)]
     unsafe fn window(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatrixViewMut<'_, f64> {
-        let m = &mut *self.cell.get();
+        // SAFETY: the caller guarantees no other live window overlaps
+        // [r0, r0+nr) × [c0, c0+nc) — the DAG discipline orders all
+        // accesses to a region, so the exclusive reborrow is unique.
+        let m = unsafe { &mut *self.cell.get() };
         m.sub_mut(r0, c0, nr, nc)
     }
 

@@ -22,7 +22,10 @@ unsafe impl Sync for SharedC {}
 impl SharedC {
     #[allow(clippy::mut_from_ref)]
     unsafe fn window(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatrixViewMut<'_, f64> {
-        (*self.cell.get()).sub_mut(r0, c0, nr, nc)
+        // SAFETY: the caller guarantees disjoint tile windows — the
+        // stealing counters hand each (r0, c0) tile to exactly one
+        // worker, so the exclusive reborrow never aliases.
+        unsafe { (*self.cell.get()).sub_mut(r0, c0, nr, nc) }
     }
 }
 

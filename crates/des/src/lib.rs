@@ -23,6 +23,7 @@
 //!   bandwidth×latency channel (PCIe, InfiniBand); [`trace::Trace`]
 //!   records per-lane spans for the Gantt charts of Fig. 7 / Fig. 9.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod link;

@@ -14,6 +14,7 @@
 //!   broadcast along a process row and the `U`/swap exchange along a
 //!   process column (Section V-A's "U broadcast" and "row swapping").
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod grid;

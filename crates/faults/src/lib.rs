@@ -19,6 +19,8 @@
 //! [`FaultPlan::fingerprint`] hashes the full event list so tests can
 //! assert two runs saw exactly the same faults.
 
+#![forbid(unsafe_code)]
+
 /// The LCG multiplier shared with `phi_matrix::HplRng` (Knuth MMIX).
 const MULT: u64 = 6364136223846793005;
 /// The LCG increment shared with `phi_matrix::HplRng`.

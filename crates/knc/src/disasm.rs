@@ -195,6 +195,178 @@ mod tests {
     }
 
     #[test]
+    fn bad_register_reported_for_every_operand_position() {
+        use crate::isa::{Addr, StreamId};
+        let mem = Addr::new(StreamId::B, 8, 0);
+        let cases: Vec<Instr> = vec![
+            Instr::Fmadd {
+                acc: 32,
+                src: Operand::Reg(0),
+                b: 0,
+            },
+            Instr::Fmadd {
+                acc: 0,
+                src: Operand::Reg(99),
+                b: 0,
+            },
+            Instr::Fmadd {
+                acc: 0,
+                src: Operand::Swizzle(40, 0),
+                b: 0,
+            },
+            Instr::Fmadd {
+                acc: 0,
+                src: Operand::Reg(0),
+                b: 32,
+            },
+            Instr::Load { dst: 32, addr: mem },
+            Instr::Store { src: 32, addr: mem },
+            Instr::Broadcast {
+                dst: 32,
+                addr: mem,
+                mode: BcastMode::OneToEight,
+            },
+            Instr::Add {
+                dst: 32,
+                src: Operand::Reg(0),
+            },
+            Instr::Mul {
+                dst: 0,
+                src: Operand::Reg(32),
+            },
+        ];
+        for instr in cases {
+            let mut p = Program::new();
+            p.push(instr);
+            let errs = validate(&p);
+            assert!(
+                errs.iter()
+                    .any(|e| matches!(e, ValidationError::BadRegister { at: 0, .. })),
+                "{instr:?}: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_swizzle_lane_reported_at_the_boundary() {
+        for lane in [4u8, 5, 255] {
+            let mut p = Program::new();
+            p.push(Instr::Fmadd {
+                acc: 0,
+                src: Operand::Swizzle(30, lane),
+                b: 31,
+            });
+            let errs = validate(&p);
+            assert_eq!(
+                errs,
+                vec![ValidationError::BadSwizzleLane { at: 0, lane }],
+                "lane {lane}"
+            );
+        }
+        // Lane 3 is the last legal selector.
+        let mut p = Program::new();
+        p.push(Instr::Fmadd {
+            acc: 0,
+            src: Operand::Swizzle(30, 3),
+            b: 31,
+        });
+        assert!(validate(&p).is_empty());
+    }
+
+    #[test]
+    fn instr_str_round_trips_the_fig2_listing_forms() {
+        use crate::isa::{Addr, StreamId};
+        // Every rendered form, spelled exactly as the Fig. 2b/2c
+        // listings (and the README excerpts) expect them.
+        let cases: Vec<(Instr, &str)> = vec![
+            (
+                Instr::Fmadd {
+                    acc: 0,
+                    src: Operand::MemBcast(Addr::new(StreamId::A, 32, 5), BcastMode::OneToEight),
+                    b: 31,
+                },
+                "vfmadd231pd v0, v31, [rA + i*32 + 5]{1to8}",
+            ),
+            (
+                Instr::Fmadd {
+                    acc: 2,
+                    src: Operand::Swizzle(30, 2),
+                    b: 31,
+                },
+                "vfmadd231pd v2, v31, v30{dddd}[2]",
+            ),
+            (
+                Instr::Broadcast {
+                    dst: 30,
+                    addr: Addr::new(StreamId::A, 32, 0),
+                    mode: BcastMode::FourToEight,
+                },
+                "vbroadcastf64x4 v30, [rA + i*32]",
+            ),
+            (
+                Instr::Broadcast {
+                    dst: 29,
+                    addr: Addr::new(StreamId::A, 0, 3),
+                    mode: BcastMode::OneToEight,
+                },
+                "vbroadcastsd v29, [rA + 3]",
+            ),
+            (
+                Instr::Load {
+                    dst: 31,
+                    addr: Addr::new(StreamId::B, 8, 0),
+                },
+                "vmovapd v31, [rB + i*8]",
+            ),
+            (
+                Instr::Store {
+                    src: 0,
+                    addr: Addr::new(StreamId::C, 0, 8),
+                },
+                "vmovapd [rC + 8], v0",
+            ),
+            (
+                Instr::Add {
+                    dst: 0,
+                    src: Operand::Mem(Addr::new(StreamId::C, 0, 0)),
+                },
+                "vaddpd v0, v0, [rC]",
+            ),
+            (
+                Instr::Mul {
+                    dst: 1,
+                    src: Operand::Reg(7),
+                },
+                "vmulpd v1, v1, v7",
+            ),
+            (
+                Instr::PrefetchL1(Addr::new(StreamId::A, 32, 32).with_thread_scale(8)),
+                "vprefetch0 [rA + i*32 + t*8 + 32]",
+            ),
+            (
+                Instr::PrefetchL2(Addr::new(StreamId::B, 8, 16)),
+                "vprefetch1 [rB + i*8 + 16]",
+            ),
+            (Instr::ScalarOp, "add r13, 1"),
+        ];
+        for (instr, expect) in cases {
+            assert_eq!(instr_str(&instr), expect);
+        }
+    }
+
+    #[test]
+    fn disassemble_lines_carry_index_and_pipe_columns() {
+        let (k1, _) = build_basic_kernel(MicroKernelKind::Kernel1);
+        let text = disassemble(&k1);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), k1.body.len());
+        assert_eq!(lines[0], "  0 V  vprefetch0 [rB + i*8 + 8]");
+        assert_eq!(lines[1], "  1 U  vmovapd v31, [rB + i*8]");
+        assert_eq!(lines[2], "  2 V  vprefetch0 [rA + i*32 + t*8 + 32]");
+        assert_eq!(lines[3], "  3 U  vfmadd231pd v0, v31, [rA + i*32]{1to8}");
+    }
+
+    #[test]
     fn validator_catches_defects() {
         use crate::isa::{Addr, StreamId};
         let mut p = Program::new();

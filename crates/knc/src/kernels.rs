@@ -144,6 +144,14 @@ pub fn build_basic_kernel(kind: MicroKernelKind) -> (Program, Program) {
             addr: Addr::new(StreamId::C, 0, r as usize * NR),
         });
     }
+    #[cfg(debug_assertions)]
+    for (what, p) in [("body", &body), ("epilogue", &epi)] {
+        let errs = crate::disasm::validate(p);
+        assert!(
+            errs.is_empty(),
+            "generated {kind:?} {what} is invalid: {errs:?}"
+        );
+    }
     (body, epi)
 }
 

@@ -1,0 +1,33 @@
+//! Every kernel this crate generates must pass the `phi-lint` static
+//! analyzer with zero errors — the self-check half of the satellite to
+//! the in-crate `debug_assertions` `validate` call (which cannot invoke
+//! `phi-lint` directly: the analyzer depends on this crate, so the full
+//! passes run here as a dev-dependency gate instead).
+
+use phi_blas::gemm::MicroKernelKind;
+use phi_knc::kernels::build_basic_kernel;
+
+#[test]
+fn generated_kernels_pass_the_static_analyzer() {
+    for kind in [MicroKernelKind::Kernel1, MicroKernelKind::Kernel2] {
+        let (body, epi) = build_basic_kernel(kind);
+        let report = phi_lint::analyze(&body, &epi);
+        assert!(
+            !report.has_errors(),
+            "{kind:?} failed phi-lint:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn kernel2_is_warning_free_kernel1_warns_once() {
+    // Kernel 2 is the paper's fixed point: nothing to flag. Kernel 1 is
+    // legal but port-bound, and the analyzer must say exactly that.
+    let (b2, e2) = build_basic_kernel(MicroKernelKind::Kernel2);
+    assert!(phi_lint::analyze(&b2, &e2).diags.is_empty());
+    let (b1, e1) = build_basic_kernel(MicroKernelKind::Kernel1);
+    let diags = phi_lint::analyze(&b1, &e1).diags;
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].kind.name(), "fill-conflict");
+}

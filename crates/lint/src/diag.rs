@@ -1,0 +1,281 @@
+//! Diagnostics: what a lint pass reports and how it is rendered.
+//!
+//! Every finding carries a severity, the index of the offending
+//! instruction (body or epilogue), and a disassembly excerpt around it so
+//! a report reads like the annotated listings of Fig. 2b/2c.
+
+use phi_knc::disasm::instr_str;
+use phi_knc::{Program, StreamId};
+
+/// How bad a finding is.
+///
+/// The paper kernels must be free of [`Severity::Error`]; warnings encode
+/// performance hazards (Kernel 1's fill conflict is *the* example — it is
+/// correct code that the paper shows losing cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Performance hazard or suspicious-but-executable construct.
+    Warning,
+    /// The program is wrong: it computes garbage or violates a machine
+    /// constraint the emulator does not forgive.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which program region a diagnostic points into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// The loop body (executed once per iteration).
+    Body,
+    /// The C-update epilogue (executed once after the loop).
+    Epilogue,
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Body => write!(f, "body"),
+            Region::Epilogue => write!(f, "epilogue"),
+        }
+    }
+}
+
+/// The closed set of findings the analyzer can produce. Each variant is
+/// demonstrated by a fixture program in [`crate::fixtures`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum LintKind {
+    /// A register is read (as a pure source) before any instruction
+    /// defines it — iteration 0 consumes the zeroed live-in value, which
+    /// is only legitimate for accumulators (read-modify-write).
+    UninitializedRead {
+        /// The register read too early.
+        reg: u8,
+    },
+    /// A full register define whose value is overwritten before any use —
+    /// a wasted U-pipe slot every iteration.
+    DeadStore {
+        /// The register written in vain.
+        reg: u8,
+    },
+    /// A register holding loop-carried partial sums (an FMA accumulator)
+    /// is fully overwritten inside the loop, destroying the accumulation.
+    AccumulatorClobber {
+        /// The clobbered accumulator.
+        reg: u8,
+    },
+    /// A V-pipe instruction that cannot co-issue: its issue turn contains
+    /// no vector instruction, so it burns a whole cycle (the dual-issue
+    /// pairing the paper relies on is broken at this point).
+    UnpairedVpipe,
+    /// More L1 prefetch fills arrive per iteration than there are
+    /// port-free holes to absorb them — the Fig. 1c conflict. Fills defer
+    /// and eventually stall the pipe (Basic Kernel 1's fate).
+    FillConflict {
+        /// L1 lines filled per aggregate iteration (all threads).
+        fills: usize,
+        /// Port-free issue cycles per aggregate iteration.
+        holes: usize,
+    },
+    /// A streaming demand access whose cache line is not covered by any
+    /// in-window `vprefetch0` from an earlier iteration: every line is a
+    /// demand miss in the emulator.
+    UnprefetchedStream {
+        /// The stream read without prefetch cover.
+        stream: StreamId,
+    },
+    /// A store in the steady-state loop body: it occupies the L1 write
+    /// port every iteration, stealing the holes prefetch fills need. The
+    /// paper keeps C in registers and stores only in the epilogue.
+    WritePortPressure,
+    /// A vector memory access whose symbolic address is not aligned to
+    /// the operand size for every (iteration, thread) pair.
+    Misaligned {
+        /// Required element alignment (8 for full vectors, 4 for `4to8`).
+        align: usize,
+    },
+    /// An L1 prefetch stepping by a non-multiple of the cache line:
+    /// successive iterations re-prefetch overlapping lines.
+    PartialLinePrefetch {
+        /// The per-iteration element stride.
+        scale: usize,
+    },
+    /// A thread-split access on the shared `A` stream whose per-thread
+    /// stride is not line-sized: threads own overlapping cache lines, so
+    /// the cooperative split of Section III-A2 double-fetches.
+    ThreadOverlap {
+        /// The offending per-thread element stride.
+        scale_thread: usize,
+    },
+    /// A prefetch of the shared `A` stream with no per-thread stride: all
+    /// four hardware threads request the same line instead of splitting
+    /// the four lines of a column among themselves.
+    DuplicateSharedPrefetch,
+}
+
+impl LintKind {
+    /// Stable kebab-case name, used by fixtures and gate tooling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LintKind::UninitializedRead { .. } => "uninitialized-read",
+            LintKind::DeadStore { .. } => "dead-store",
+            LintKind::AccumulatorClobber { .. } => "accumulator-clobber",
+            LintKind::UnpairedVpipe => "unpaired-vpipe",
+            LintKind::FillConflict { .. } => "fill-conflict",
+            LintKind::UnprefetchedStream { .. } => "unprefetched-stream",
+            LintKind::WritePortPressure => "write-port-pressure",
+            LintKind::Misaligned { .. } => "misaligned",
+            LintKind::PartialLinePrefetch { .. } => "partial-line-prefetch",
+            LintKind::ThreadOverlap { .. } => "thread-overlap",
+            LintKind::DuplicateSharedPrefetch => "duplicate-shared-prefetch",
+        }
+    }
+
+    /// The severity this kind always carries.
+    pub fn severity(&self) -> Severity {
+        match self {
+            LintKind::UninitializedRead { .. }
+            | LintKind::AccumulatorClobber { .. }
+            | LintKind::Misaligned { .. }
+            | LintKind::ThreadOverlap { .. } => Severity::Error,
+            LintKind::DeadStore { .. }
+            | LintKind::UnpairedVpipe
+            | LintKind::FillConflict { .. }
+            | LintKind::UnprefetchedStream { .. }
+            | LintKind::WritePortPressure
+            | LintKind::PartialLinePrefetch { .. }
+            | LintKind::DuplicateSharedPrefetch => Severity::Warning,
+        }
+    }
+
+    /// Every kind the analyzer can emit, for exhaustiveness checks.
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "uninitialized-read",
+            "dead-store",
+            "accumulator-clobber",
+            "unpaired-vpipe",
+            "fill-conflict",
+            "unprefetched-stream",
+            "write-port-pressure",
+            "misaligned",
+            "partial-line-prefetch",
+            "thread-overlap",
+            "duplicate-shared-prefetch",
+        ]
+    }
+}
+
+/// One finding: kind + location + rendered context.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// What was found.
+    pub kind: LintKind,
+    /// Error or warning (always `kind.severity()`).
+    pub severity: Severity,
+    /// Body or epilogue.
+    pub region: Region,
+    /// Instruction index within the region.
+    pub at: usize,
+    /// Human explanation of this occurrence.
+    pub message: String,
+    /// Disassembly excerpt around the instruction (±1 line, the offender
+    /// marked with `>`).
+    pub excerpt: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic, rendering the excerpt from `program`.
+    pub fn new(
+        kind: LintKind,
+        region: Region,
+        at: usize,
+        program: &Program,
+        message: String,
+    ) -> Self {
+        Self {
+            severity: kind.severity(),
+            excerpt: excerpt(program, at),
+            kind,
+            region,
+            at,
+            message,
+        }
+    }
+
+    /// Renders as a compiler-style multi-line message.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {} ({} instruction {})\n{}",
+            self.severity,
+            self.kind.name(),
+            self.message,
+            self.region,
+            self.at,
+            self.excerpt
+        )
+    }
+}
+
+/// Disassembly excerpt around `at` with the offender marked.
+fn excerpt(p: &Program, at: usize) -> String {
+    let lo = at.saturating_sub(1);
+    let hi = (at + 2).min(p.body.len());
+    let mut out = String::new();
+    for idx in lo..hi {
+        let marker = if idx == at { '>' } else { ' ' };
+        let pipe = if p.body[idx].is_vector() { 'U' } else { 'V' };
+        out.push_str(&format!(
+            "  {marker} {idx:>3} {pipe}  {}\n",
+            instr_str(&p.body[idx])
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_knc::{Addr, Instr, Operand};
+
+    #[test]
+    fn diagnostic_renders_severity_kind_index_and_excerpt() {
+        let mut p = Program::new();
+        p.push(Instr::Load {
+            dst: 31,
+            addr: Addr::new(StreamId::B, 8, 0),
+        });
+        p.push(Instr::Fmadd {
+            acc: 0,
+            src: Operand::Reg(5),
+            b: 31,
+        });
+        let d = Diagnostic::new(
+            LintKind::UninitializedRead { reg: 5 },
+            Region::Body,
+            1,
+            &p,
+            "v5 read before any define".into(),
+        );
+        assert_eq!(d.severity, Severity::Error);
+        let r = d.render();
+        assert!(r.contains("error[uninitialized-read]"), "{r}");
+        assert!(r.contains("body instruction 1"), "{r}");
+        assert!(r.contains(">   1 U  vfmadd231pd v0, v31, v5"), "{r}");
+        assert!(r.contains("    0 U  vmovapd v31"), "{r}");
+    }
+
+    #[test]
+    fn severity_is_total_over_kinds() {
+        assert_eq!(LintKind::all_names().len(), 11);
+        assert!(LintKind::FillConflict { fills: 8, holes: 0 }.severity() == Severity::Warning);
+        assert!(LintKind::Misaligned { align: 8 }.severity() == Severity::Error);
+    }
+}

@@ -1,0 +1,230 @@
+//! Deliberately-broken kernel programs, one per diagnostic kind.
+//!
+//! The gate (`tests/gate.rs` and the `lint` binary in `phi-bench`) runs
+//! the analyzer over each fixture and requires the expected diagnostic to
+//! fire — proving every lint is live, not just defined.
+
+use phi_blas::gemm::MicroKernelKind;
+use phi_knc::kernels::build_basic_kernel;
+use phi_knc::{Addr, BcastMode, Instr, Operand, Program, StreamId};
+
+/// One broken program and the diagnostic it must trip.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Short human name of the defect scenario.
+    pub name: &'static str,
+    /// `LintKind::name()` of the expected diagnostic.
+    pub expect: &'static str,
+    /// Loop body.
+    pub body: Program,
+    /// C-update epilogue.
+    pub epilogue: Program,
+}
+
+fn b_load(dst: u8) -> Instr {
+    Instr::Load {
+        dst,
+        addr: Addr::new(StreamId::B, 8, 0),
+    }
+}
+
+fn a_fma(acc: u8, b: u8) -> Instr {
+    Instr::Fmadd {
+        acc,
+        src: Operand::MemBcast(Addr::new(StreamId::A, 32, 0), BcastMode::OneToEight),
+        b,
+    }
+}
+
+fn pf_b() -> Instr {
+    Instr::PrefetchL1(Addr::new(StreamId::B, 8, 8))
+}
+
+fn pf_a_split() -> Instr {
+    Instr::PrefetchL1(Addr::new(StreamId::A, 32, 32).with_thread_scale(8))
+}
+
+fn prog(instrs: Vec<Instr>) -> Program {
+    let mut p = Program::new();
+    for i in instrs {
+        p.push(i);
+    }
+    p
+}
+
+/// All fixtures: exactly one per [`crate::LintKind`] variant.
+pub fn all() -> Vec<Fixture> {
+    let mut out = vec![Fixture {
+        name: "fma reads a register nothing defines",
+        expect: "uninitialized-read",
+        body: prog(vec![
+            pf_b(),
+            pf_a_split(),
+            b_load(31),
+            Instr::Fmadd {
+                acc: 0,
+                src: Operand::Reg(5),
+                b: 31,
+            },
+        ]),
+        epilogue: Program::new(),
+    }];
+
+    out.push(Fixture {
+        name: "b row loaded twice before use",
+        expect: "dead-store",
+        body: prog(vec![
+            pf_b(),
+            pf_a_split(),
+            b_load(31),
+            b_load(31),
+            a_fma(0, 31),
+        ]),
+        epilogue: prog(vec![Instr::Store {
+            src: 0,
+            addr: Addr::new(StreamId::C, 0, 0),
+        }]),
+    });
+
+    out.push(Fixture {
+        name: "stray load overwrites a live accumulator",
+        expect: "accumulator-clobber",
+        body: prog(vec![
+            pf_b(),
+            pf_a_split(),
+            b_load(31),
+            a_fma(0, 31),
+            Instr::Load {
+                dst: 0,
+                addr: Addr::new(StreamId::B, 8, 0),
+            },
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "back-to-back prefetches cannot co-issue",
+        expect: "unpaired-vpipe",
+        body: prog(vec![
+            pf_b(),
+            pf_a_split(),
+            Instr::PrefetchL2(Addr::new(StreamId::B, 8, 16)),
+            b_load(31),
+            a_fma(0, 31),
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "Basic Kernel 1: every slot reads, fills have no holes",
+        expect: "fill-conflict",
+        body: build_basic_kernel(MicroKernelKind::Kernel1).0,
+        epilogue: build_basic_kernel(MicroKernelKind::Kernel1).1,
+    });
+
+    out.push(Fixture {
+        name: "a stream read with no vprefetch0 cover",
+        expect: "unprefetched-stream",
+        body: prog(vec![pf_b(), b_load(31), a_fma(0, 31)]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "store inside the steady-state loop",
+        expect: "write-port-pressure",
+        body: prog(vec![
+            pf_b(),
+            pf_a_split(),
+            b_load(31),
+            a_fma(0, 31),
+            Instr::Store {
+                src: 0,
+                addr: Addr::new(StreamId::C, 0, 0),
+            },
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "vector load with a half-vector iteration stride",
+        expect: "misaligned",
+        body: prog(vec![
+            pf_b(),
+            pf_a_split(),
+            Instr::Load {
+                dst: 31,
+                addr: Addr::new(StreamId::B, 4, 0),
+            },
+            a_fma(0, 31),
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "prefetch stepping by half a cache line",
+        expect: "partial-line-prefetch",
+        body: prog(vec![
+            Instr::PrefetchL1(Addr::new(StreamId::B, 4, 8)),
+            pf_a_split(),
+            b_load(31),
+            a_fma(0, 31),
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "thread split of the shared a tile by half a line",
+        expect: "thread-overlap",
+        body: prog(vec![
+            pf_b(),
+            Instr::PrefetchL1(Addr::new(StreamId::A, 32, 32).with_thread_scale(4)),
+            b_load(31),
+            a_fma(0, 31),
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out.push(Fixture {
+        name: "all four threads prefetch the same shared a line",
+        expect: "duplicate-shared-prefetch",
+        body: prog(vec![
+            pf_b(),
+            Instr::PrefetchL1(Addr::new(StreamId::A, 32, 32)),
+            b_load(31),
+            a_fma(0, 31),
+        ]),
+        epilogue: Program::new(),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintKind;
+
+    #[test]
+    fn fixtures_cover_every_kind_exactly_once() {
+        let fixtures = all();
+        let mut names: Vec<&str> = fixtures.iter().map(|f| f.expect).collect();
+        names.sort_unstable();
+        let mut expected: Vec<&str> = LintKind::all_names().to_vec();
+        expected.sort_unstable();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn every_fixture_trips_its_diagnostic() {
+        for f in all() {
+            let report = crate::analyze(&f.body, &f.epilogue);
+            assert!(
+                report.diags.iter().any(|d| d.kind.name() == f.expect),
+                "fixture `{}` did not trip `{}`:\n{}",
+                f.name,
+                f.expect,
+                report.render()
+            );
+        }
+    }
+}

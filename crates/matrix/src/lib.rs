@@ -17,6 +17,7 @@
 //! packing (Knights Corner tile formats, Fig. 3 of the paper) lives in
 //! `phi-blas`, which consumes these types.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod aligned;

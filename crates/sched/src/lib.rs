@@ -21,6 +21,7 @@
 //!   backward from the last tile, "until there are no more tiles to
 //!   steal" (Section V-B).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dag;

@@ -14,6 +14,7 @@
 //! quoted measurement. These feed the hybrid-HPL discrete-event
 //! simulation in `phi-hpl`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Hardware constants of the dual-socket host (Table I).

@@ -14,6 +14,7 @@
 //! | [`fabric`] | `phi-fabric` | PCIe + mm-queues, P×Q grids, InfiniBand model |
 //! | [`sched`] | `phi-sched` | panel DAG, thread groups, super-stages, tile stealing |
 //! | [`hpl`] | `phi-hpl` | native / offload / hybrid Linpack, both backends |
+//! | [`lint`] | `phi-lint` | static kernel verifier, issue-slot analyzer, cycle bound |
 //!
 //! # Quick start
 //!
@@ -48,6 +49,7 @@ pub use phi_des as des;
 pub use phi_fabric as fabric;
 pub use phi_hpl as hpl;
 pub use phi_knc as knc;
+pub use phi_lint as lint;
 pub use phi_matrix as matrix;
 pub use phi_sched as sched;
 pub use phi_xeon as xeon;
