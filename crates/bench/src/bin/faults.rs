@@ -1,21 +1,50 @@
 //! Fault campaign: degraded-vs-healthy hybrid Linpack under seeded,
 //! replayable fault plans. Pass a hex or decimal seed to change the
 //! random campaigns; the replay check must always print bit-identical.
-fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .map(|s| {
-            let s = s.trim();
-            let hex = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"));
-            match hex {
-                Some(h) => u64::from_str_radix(h, 16),
-                None => s.parse(),
+
+use std::fmt;
+use std::process::ExitCode;
+
+/// A malformed seed argument, carried as a value instead of a panic.
+#[derive(Debug)]
+struct SeedError(String);
+
+impl fmt::Display for SeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed must be a u64 (decimal or 0x-hex), got `{}`",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+fn parse_seed(s: &str) -> Result<u64, SeedError> {
+    let s = s.trim();
+    let hex = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"));
+    match hex {
+        Some(h) => u64::from_str_radix(h, 16),
+        None => s.parse(),
+    }
+    .map_err(|_| SeedError(s.to_string()))
+}
+
+fn main() -> ExitCode {
+    let seed = match std::env::args().nth(1) {
+        Some(arg) => match parse_seed(&arg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("faults: {e}");
+                return ExitCode::FAILURE;
             }
-            .expect("seed must be a u64 (decimal or 0x-hex)")
-        })
-        .unwrap_or(0xFA_0175);
+        },
+        None => 0xFA_0175,
+    };
     println!(
         "== Fault campaign ==\n{}",
         phi_bench::fault_campaign_render(seed)
     );
+    ExitCode::SUCCESS
 }

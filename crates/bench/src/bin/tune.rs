@@ -1,0 +1,38 @@
+//! Autotunes the paper's two reference machines and writes
+//! `BENCH_tune.json`:
+//!
+//! ```text
+//! cargo run --release -p phi-bench --bin tune            # full search
+//! cargo run --release -p phi-bench --bin tune -- --smoke # coarse grid only
+//! ```
+//!
+//! A second invocation with the same machine fingerprint, space and
+//! seed is served entirely from the tuning cache.
+
+use phi_bench::tune::{render, run_tuner, write_bench_json, TuneArgs};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tune: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), phi_bench::tune::TuneBenchError> {
+    let args = TuneArgs::parse(std::env::args().skip(1))?;
+    let mode = if args.smoke {
+        "smoke (coarse grid)"
+    } else {
+        "full (coarse + refine + calibrated)"
+    };
+    println!("== phi-tune: {mode} ==\n");
+    let runs = run_tuner(args.smoke, &args.cache_dir)?;
+    println!("{}", render(&runs));
+    write_bench_json(&args.out, &runs)?;
+    println!("\nwrote {}", args.out.display());
+    Ok(())
+}

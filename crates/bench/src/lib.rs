@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod faults;
 pub mod format;
 pub mod lintgate;
+pub mod tune;
 
 pub use experiments::*;
 pub use faults::{fault_campaign_render, fault_campaign_rows, CampaignRow};

@@ -191,6 +191,48 @@ impl HplDat {
         }
     }
 
+    /// Emits the plan in the canonical fixed layout [`parse`](Self::parse)
+    /// reads. The emitter is a pure function of the four plan fields, so
+    /// `render → parse → render` is byte-identical — the property that
+    /// lets the tuner hand its winning configuration back through the
+    /// standard HPL input format.
+    pub fn render(&self) -> String {
+        fn line(value: &str, desc: &str) -> String {
+            format!("{value:<12} {desc}\n")
+        }
+        fn list(values: &[usize]) -> String {
+            values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        let ps: Vec<usize> = self.grids.iter().map(|&(p, _)| p).collect();
+        let qs: Vec<usize> = self.grids.iter().map(|&(_, q)| q).collect();
+        let mut out = String::new();
+        out.push_str("HPLinpack benchmark input file (linpack-phi reproduction)\n");
+        out.push_str(&line("HPL.out", "output file name (if any)"));
+        out.push_str(&line("6", "device out (6=stdout)"));
+        out.push_str(&line(&self.ns.len().to_string(), "# of problems sizes (N)"));
+        out.push_str(&line(&list(&self.ns), "Ns"));
+        out.push_str(&line(&self.nbs.len().to_string(), "# of NBs"));
+        out.push_str(&line(&list(&self.nbs), "NBs"));
+        out.push_str(&line("0", "PMAP process mapping (0=Row-,1=Column-major)"));
+        out.push_str(&line(
+            &self.grids.len().to_string(),
+            "# of process grids (P x Q)",
+        ));
+        out.push_str(&line(&list(&ps), "Ps"));
+        out.push_str(&line(&list(&qs), "Qs"));
+        out.push_str(&line("16.0", "threshold"));
+        out.push_str(&line("1", "# of lookahead depth"));
+        out.push_str(&line(
+            &self.depth.to_string(),
+            "DEPTHs (0=none, 1=basic, >=2 pipelined)",
+        ));
+        out
+    }
+
     /// Expands the cross-product of (N, NB, grid) into run configurations,
     /// in HPL's nesting order (grids outermost, then N, then NB).
     pub fn expand(&self, cards_per_node: usize, host_mem_gib: f64) -> Vec<HybridConfig> {
@@ -294,6 +336,40 @@ mod tests {
 
         let zero_grid = paper_table3_dat().replace("1 2 10       Ps", "0 2 10 Ps");
         assert!(HplDat::parse(&zero_grid).is_err());
+    }
+
+    #[test]
+    fn render_parse_render_is_byte_identical_for_paper_tables() {
+        // Table II single-node setup and Table III multi-node plan.
+        let table2 = HplDat {
+            ns: vec![84_000],
+            nbs: vec![1200],
+            grids: vec![(1, 1)],
+            depth: 2,
+        };
+        let table3 = HplDat::parse(paper_table3_dat()).unwrap();
+        for dat in [table2, table3] {
+            let first = dat.render();
+            let reparsed = HplDat::parse(&first).unwrap();
+            assert_eq!(reparsed, dat, "parse must invert render");
+            let second = reparsed.render();
+            assert_eq!(first.as_bytes(), second.as_bytes(), "round-trip bytes");
+        }
+    }
+
+    #[test]
+    fn rendered_depth_survives_all_schemes() {
+        for depth in [0usize, 1, 2, 4] {
+            let dat = HplDat {
+                ns: vec![10_000, 20_000],
+                nbs: vec![960, 1200],
+                grids: vec![(2, 4), (1, 8)],
+                depth,
+            };
+            let back = HplDat::parse(&dat.render()).unwrap();
+            assert_eq!(back, dat);
+            assert_eq!(back.lookahead(), dat.lookahead());
+        }
     }
 
     #[test]

@@ -33,7 +33,9 @@
 //! plan replays bit-identically from its seed. Both properties are
 //! locked by tests.
 
-use super::{simulate_cluster, ClusterResult, HybridConfig, IterationProfile, Lookahead};
+use super::{
+    simulate_cluster, ClusterResult, HybridConfig, IterationProfile, Lookahead, WorkDivision,
+};
 use crate::report::{FaultSummary, GigaflopsReport};
 use phi_des::{Kind, Trace};
 use phi_faults::{Effects, FaultKind, FaultPlan};
@@ -162,7 +164,7 @@ fn stage_times(
         } else {
             0.0
         };
-    let t_pbcast = net.ring_bcast(8.0 * (m_panel_loc * nb) as f64, q);
+    let t_pbcast = net.bcast(cfg.bcast, 8.0 * (m_panel_loc * nb) as f64, q);
 
     let t_swap = host.swap_time_s(nb, cols_loc) + net.long_swap(nb, cols_loc, p);
     let t_trsm = host.trsm_time_s(nb, cols_loc, panel_cores);
@@ -172,7 +174,18 @@ fn stage_times(
     let (t_update, busy) = if rows_loc == 0 || cols_loc == 0 {
         (0.0, 0.0)
     } else if cards_avail > 0 {
-        let out = off.analytic(rows_loc, cols_loc, cards_avail, cfg.host_update_cores);
+        let out = match cfg.division {
+            WorkDivision::Dynamic => {
+                off.analytic(rows_loc, cols_loc, cards_avail, cfg.host_update_cores)
+            }
+            WorkDivision::Static { card_fraction } => off.analytic_split(
+                rows_loc,
+                cols_loc,
+                cards_avail,
+                cfg.host_update_cores,
+                card_fraction,
+            ),
+        };
         (out.time_s, out.card_busy_s)
     } else {
         // §V rebalance with the card share forced to zero: the host's
@@ -183,6 +196,13 @@ fn stage_times(
         )
     };
 
+    // Look-ahead pre-update (mirrors `super::run_cluster`).
+    let t_pre = if cards_avail > 0 && rows_loc > 0 {
+        host.gemm_time_s(rows_loc, nb, off.kt, panel_cores)
+    } else {
+        0.0
+    };
+
     let (stage_time, three_exposed, panel_exposed) = match cfg.lookahead {
         Lookahead::None => (
             t_panel + t_pbcast + three + t_update,
@@ -190,16 +210,16 @@ fn stage_times(
             t_panel + t_pbcast,
         ),
         Lookahead::Basic => {
-            let overlap = t_update.max(t_panel + t_pbcast);
+            let overlap = t_update.max(t_pre + t_panel + t_pbcast);
             (
                 three + overlap,
                 three,
-                (t_panel + t_pbcast - t_update).max(0.0),
+                (t_pre + t_panel + t_pbcast - t_update).max(0.0),
             )
         }
         Lookahead::Pipelined => {
             let first_strip = three / cfg.strips as f64;
-            let host_path = t_panel + t_pbcast + three * cfg.pipeline_overhead;
+            let host_path = t_pre + t_panel + t_pbcast + three * cfg.pipeline_overhead;
             let card_path = t_update + first_strip;
             (
                 card_path.max(host_path),

@@ -31,7 +31,7 @@ pub use faulty::{simulate_cluster_faulty, FaultyClusterResult, FtPolicy};
 
 use crate::offload::OffloadModel;
 use crate::report::GigaflopsReport;
-use phi_fabric::{NetModel, ProcessGrid};
+use phi_fabric::{BcastScheme, NetModel, ProcessGrid};
 use phi_knc::Precision;
 
 /// Look-ahead scheme (Fig. 8).
@@ -43,6 +43,22 @@ pub enum Lookahead {
     Basic,
     /// Panel overlap + swap/DTRSM/U-broadcast pipelining (Fig. 8c).
     Pipelined,
+}
+
+/// How trailing-update work is divided between host and card(s).
+///
+/// §IV-B/§V-B: the paper's implementation divides work *dynamically* by
+/// two-ended stealing; a static split is the natural alternative it
+/// argues against. The tuner searches both.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkDivision {
+    /// Dynamic two-ended work stealing (the paper's choice).
+    Dynamic,
+    /// Fixed fraction of the update flops pinned to the card side.
+    Static {
+        /// Share of the trailing-update flops the card(s) take, in `0..=1`.
+        card_fraction: f64,
+    },
 }
 
 /// Configuration of a hybrid (or CPU-only) HPL run.
@@ -78,6 +94,10 @@ pub struct HybridConfig {
     /// (look-ahead bookkeeping, ragged tiles) — calibrated to the MKL MP
     /// Linpack rows of Table III.
     pub host_lu_efficiency: f64,
+    /// Host/card division of the trailing update.
+    pub division: WorkDivision,
+    /// Panel-broadcast algorithm along the process row.
+    pub bcast: BcastScheme,
 }
 
 impl HybridConfig {
@@ -97,6 +117,8 @@ impl HybridConfig {
             strips: 12,
             pipeline_overhead: 0.12,
             host_lu_efficiency: 0.95,
+            division: WorkDivision::Dynamic,
+            bcast: BcastScheme::Ring,
         }
     }
 
@@ -143,12 +165,52 @@ pub struct ClusterResult {
     pub card_idle_fraction: f64,
 }
 
+/// Fidelity of the trailing-update term in the stage loop.
+#[derive(Clone, Copy, Debug)]
+enum UpdateFidelity {
+    /// Closed-form update time on every stage (fast; the default).
+    Analytic,
+    /// Every `every`-th stage re-times the update on the discrete-event
+    /// offload engine; the stages in between scale the closed form by
+    /// the last measured DES/analytic ratio. Orders of magnitude slower
+    /// than `Analytic`, used to re-score tuning finalists.
+    DesSampled {
+        /// Sampling cadence in stages (≥ 1; 1 = every stage on the DES).
+        every: usize,
+    },
+}
+
 /// Runs the per-stage simulation.
 ///
 /// # Panics
 /// Panics when the per-node share does not fit in host memory — the same
 /// constraint that structures Table III.
 pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResult {
+    run_cluster(cfg, keep_profiles, UpdateFidelity::Analytic)
+}
+
+/// The calibrated re-scoring path: like [`simulate_cluster`] but every
+/// `sample_every`-th stage times its trailing update on the
+/// discrete-event offload engine instead of the closed form, with the
+/// intermediate stages ratio-corrected. The tuner's coarse search runs
+/// thousands of candidates through the analytic path and only the
+/// finalists through this one.
+///
+/// # Panics
+/// Panics when the per-node share does not fit in host memory, or when
+/// `sample_every == 0`.
+pub fn simulate_cluster_calibrated(cfg: &HybridConfig, sample_every: usize) -> ClusterResult {
+    assert!(sample_every > 0, "sample_every must be >= 1");
+    run_cluster(
+        cfg,
+        false,
+        UpdateFidelity::DesSampled {
+            every: sample_every,
+        },
+    )
+}
+
+fn run_cluster(cfg: &HybridConfig, keep_profiles: bool, fidelity: UpdateFidelity) -> ClusterResult {
     assert!(
         cfg.bytes_per_node() <= cfg.host_mem_gib * 1.073741824e9 * 0.95,
         "N = {} does not fit in {} GiB/node on a {}x{} grid",
@@ -166,6 +228,8 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
     let mut total = 0.0f64;
     let mut card_busy_total = 0.0f64;
     let mut profiles = Vec::new();
+    // DES/analytic ratio from the last sampled stage (DesSampled only).
+    let mut des_ratio = 1.0f64;
 
     for stage in 0..s {
         let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
@@ -198,7 +262,7 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
             } else {
                 0.0
             };
-        let t_pbcast = net.ring_bcast(8.0 * (m_panel_loc * nb) as f64, q);
+        let t_pbcast = net.bcast(cfg.bcast, 8.0 * (m_panel_loc * nb) as f64, q);
 
         // The three card-exposed steps.
         let t_swap = host.swap_time_s(nb, cols_loc) + net.long_swap(nb, cols_loc, p);
@@ -210,18 +274,66 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
         let (t_update, busy) = if rows_loc == 0 || cols_loc == 0 {
             (0.0, 0.0)
         } else if cfg.cards_per_node > 0 {
-            let out = cfg.offload.analytic(
-                rows_loc,
-                cols_loc,
-                cfg.cards_per_node,
-                cfg.host_update_cores,
-            );
-            (out.time_s, out.card_busy_s)
+            let out = match cfg.division {
+                WorkDivision::Dynamic => cfg.offload.analytic(
+                    rows_loc,
+                    cols_loc,
+                    cfg.cards_per_node,
+                    cfg.host_update_cores,
+                ),
+                WorkDivision::Static { card_fraction } => cfg.offload.analytic_split(
+                    rows_loc,
+                    cols_loc,
+                    cfg.cards_per_node,
+                    cfg.host_update_cores,
+                    card_fraction,
+                ),
+            };
+            match fidelity {
+                UpdateFidelity::Analytic => (out.time_s, out.card_busy_s),
+                UpdateFidelity::DesSampled { every } if stage % every == 0 => {
+                    let des = match cfg.division {
+                        WorkDivision::Dynamic => cfg.offload.simulate(
+                            rows_loc,
+                            cols_loc,
+                            cfg.cards_per_node,
+                            cfg.host_update_cores,
+                        ),
+                        // The static-split DES models a single card; with
+                        // more we keep the closed form un-corrected.
+                        WorkDivision::Static { card_fraction } if cfg.cards_per_node == 1 => {
+                            cfg.offload.simulate_static_split(
+                                rows_loc,
+                                cols_loc,
+                                cfg.host_update_cores,
+                                (6, 6),
+                                card_fraction,
+                            )
+                        }
+                        WorkDivision::Static { .. } => out,
+                    };
+                    des_ratio = des.time_s / out.time_s.max(1e-12);
+                    (des.time_s, des.card_busy_s)
+                }
+                UpdateFidelity::DesSampled { .. } => {
+                    (out.time_s * des_ratio, out.card_busy_s * des_ratio)
+                }
+            }
         } else {
             (
                 host.gemm_time_s(rows_loc, cols_loc, nb, host_cores) / cfg.host_lu_efficiency,
                 0.0,
             )
+        };
+
+        // Look-ahead pre-update: before the next panel can factor, its
+        // `nb` columns of the trailing matrix must be brought up to date
+        // by the host (a narrow GEMM on the panel cores) — the cost that
+        // bounds NB from above once panels stop amortizing it.
+        let t_pre = if cfg.cards_per_node > 0 && rows_loc > 0 {
+            host.gemm_time_s(rows_loc, nb, cfg.offload.kt, panel_cores)
+        } else {
+            0.0
         };
 
         let (stage_time, three_exposed, panel_exposed) = match cfg.lookahead {
@@ -231,11 +343,11 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
                 t_panel + t_pbcast,
             ),
             Lookahead::Basic => {
-                let overlap = t_update.max(t_panel + t_pbcast);
+                let overlap = t_update.max(t_pre + t_panel + t_pbcast);
                 (
                     three + overlap,
                     three,
-                    (t_panel + t_pbcast - t_update).max(0.0),
+                    (t_pre + t_panel + t_pbcast - t_update).max(0.0),
                 )
             }
             Lookahead::Pipelined => {
@@ -244,7 +356,7 @@ pub fn simulate_cluster(cfg: &HybridConfig, keep_profiles: bool) -> ClusterResul
                 // `pipeline_overhead` of the three steps, paid on the host
                 // path where it delays the panel.
                 let first_strip = three / cfg.strips as f64;
-                let host_path = t_panel + t_pbcast + three * cfg.pipeline_overhead;
+                let host_path = t_pre + t_panel + t_pbcast + three * cfg.pipeline_overhead;
                 let card_path = t_update + first_strip;
                 (
                     card_path.max(host_path),
@@ -407,6 +519,54 @@ mod tests {
             four.report.efficiency()
         );
         assert!(four.report.efficiency() < one.report.efficiency());
+    }
+
+    #[test]
+    fn calibrated_rescoring_tracks_analytic() {
+        let cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+        let fast = simulate_cluster(&cfg, false);
+        let slow = simulate_cluster_calibrated(&cfg, 8);
+        let rel = (slow.report.gflops - fast.report.gflops).abs() / fast.report.gflops;
+        assert!(
+            rel < 0.10,
+            "calibrated {:.0} vs analytic {:.0} GFLOPS ({rel:.3})",
+            slow.report.gflops,
+            fast.report.gflops
+        );
+        // Deterministic: same inputs, same bits.
+        let again = simulate_cluster_calibrated(&cfg, 8);
+        assert_eq!(slow.report.time_s.to_bits(), again.report.time_s.to_bits());
+    }
+
+    #[test]
+    fn static_division_never_beats_dynamic_stealing() {
+        let mut cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+        let dynamic = simulate_cluster(&cfg, false);
+        let mut best_static = 0.0f64;
+        for f in [0.6, 0.8, 0.85, 0.9, 1.0] {
+            cfg.division = WorkDivision::Static { card_fraction: f };
+            let s = simulate_cluster(&cfg, false);
+            best_static = best_static.max(s.report.gflops);
+            assert!(
+                s.report.gflops <= dynamic.report.gflops * 1.001,
+                "static f={f} beat dynamic: {} vs {}",
+                s.report.gflops,
+                dynamic.report.gflops
+            );
+        }
+        // The best static fraction lands near the dynamic equilibrium.
+        assert!(best_static > dynamic.report.gflops * 0.90);
+    }
+
+    #[test]
+    fn bcast_scheme_selects_ring_for_big_panels() {
+        // On a wide grid with HPL-sized panels, the pipelined ring should
+        // beat the store-and-forward binomial tree.
+        let mut cfg = HybridConfig::new(330_000, ProcessGrid::new(4, 4), 1);
+        let ring = simulate_cluster(&cfg, false);
+        cfg.bcast = phi_fabric::BcastScheme::Binomial;
+        let binomial = simulate_cluster(&cfg, false);
+        assert!(ring.report.gflops >= binomial.report.gflops);
     }
 
     #[test]

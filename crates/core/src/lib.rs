@@ -41,6 +41,7 @@ pub use distributed::{factorize_distributed, factorize_distributed_with, DistErr
 pub use hpldat::HplDat;
 pub use hybrid::{
     simulate_cluster_faulty, ClusterResult, FaultyClusterResult, FtPolicy, HybridConfig, Lookahead,
+    WorkDivision,
 };
 pub use native::{NativeConfig, NativeScheme};
 pub use refine::{solve_mixed_precision, RefineResult};

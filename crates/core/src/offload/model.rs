@@ -242,6 +242,70 @@ impl OffloadModel {
             grid: (g, g),
         }
     }
+
+    /// Closed-form **static** split companion to [`analytic`](Self::analytic):
+    /// the card side gets a fixed `card_fraction` of the flops, the host
+    /// the rest, and neither adapts — `time = max(sides) + exposure`,
+    /// using the exact same per-side rates and exposure terms as the
+    /// dynamic closed form. At the dynamic equilibrium fraction the two
+    /// coincide; anywhere else the static split is slower, which is the
+    /// §V-B argument for work stealing that the tuner re-derives.
+    pub fn analytic_split(
+        &self,
+        m: usize,
+        n: usize,
+        cards: usize,
+        host_cores: f64,
+        card_fraction: f64,
+    ) -> OffloadOutcome {
+        assert!(cards >= 1);
+        assert!((0.0..=1.0).contains(&card_fraction));
+        if m == 0 || n == 0 {
+            return OffloadOutcome {
+                time_s: 0.0,
+                card_busy_s: 0.0,
+                gflops: 0.0,
+                card_tiles: 0,
+                host_tiles: 0,
+                grid: (1, 1),
+            };
+        }
+        let g = 6usize.min(m).min(n);
+        let (mt, nt) = (m / g.max(1), n / g.max(1));
+        let tile_t = self.tile_time_card(mt.max(1), nt.max(1));
+        let c_dma = 8.0 * (mt * nt) as f64 / self.pcie.effective_bw;
+        let tile_flops = 2.0 * (mt * nt) as f64 * self.kt as f64;
+        let card_rate = tile_flops / tile_t.max(c_dma) * cards as f64;
+        let host_rate = if host_cores > 0.0 {
+            let eff = self.host.dgemm_efficiency(n.min(m));
+            eff * self.host.cfg.freq_ghz * self.host.cfg.dp_flops_per_cycle * 1e9 * host_cores
+        } else {
+            0.0
+        };
+        // With no host lane the card must take everything.
+        let f = if host_rate > 0.0 { card_fraction } else { 1.0 };
+        let flops = 2.0 * m as f64 * n as f64 * self.kt as f64;
+        let t_card = f * flops / card_rate;
+        let t_host = if host_rate > 0.0 {
+            (1.0 - f) * flops / host_rate
+        } else {
+            0.0
+        };
+        let in_strip = 8.0
+            * (mt * self.kt + nt * self.kt) as f64
+            * (1.0 / (self.host.cfg.stream_bw_gbs * 1e9 * self.host.pack_bw_fraction)
+                + 1.0 / self.pcie.effective_bw);
+        let exposure = in_strip * cards as f64 + c_dma.min(tile_t);
+        let time_s = t_card.max(t_host) + exposure;
+        OffloadOutcome {
+            time_s,
+            card_busy_s: t_card,
+            gflops: flops / time_s / 1e9,
+            card_tiles: 0,
+            host_tiles: 0,
+            grid: (g, g),
+        }
+    }
 }
 
 /// One card finishing a tile (or starting up): steal, ensure inputs,
@@ -502,6 +566,28 @@ mod tests {
             last = eff;
         }
         assert!(last > 0.80);
+    }
+
+    #[test]
+    fn static_split_never_beats_dynamic_closed_form() {
+        let model = OffloadModel::default();
+        let dynamic = model.analytic(60_000, 60_000, 1, 11.0);
+        let mut best_static = f64::INFINITY;
+        for f in [0.5, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0] {
+            let s = model.analytic_split(60_000, 60_000, 1, 11.0, f);
+            best_static = best_static.min(s.time_s);
+            assert!(
+                s.time_s >= dynamic.time_s * 0.999,
+                "static f={f} beat dynamic: {} vs {}",
+                s.time_s,
+                dynamic.time_s
+            );
+        }
+        // At the right fraction the static split comes close.
+        assert!(best_static < dynamic.time_s * 1.10);
+        // A badly mis-set fraction hurts a lot.
+        let bad = model.analytic_split(60_000, 60_000, 1, 11.0, 0.5);
+        assert!(bad.time_s > dynamic.time_s * 1.3);
     }
 
     #[test]

@@ -77,20 +77,33 @@ impl ProcessGrid {
 
     /// Local trailing extent: of the global blocks `first..nblocks`, how
     /// many does process row `p` own? Used to size each node's share of a
-    /// trailing update.
+    /// trailing update. Closed form — this sits on the per-stage loop of
+    /// every cluster simulation, and the autotuner evaluates thousands of
+    /// such runs.
     pub fn trailing_blocks_row(&self, p: usize, first: usize, nblocks: usize) -> usize {
-        (first..nblocks).filter(|&i| self.owner_row(i) == p).count()
+        count_congruent(first, nblocks, p, self.p)
     }
 
     /// Same along columns.
     pub fn trailing_blocks_col(&self, q: usize, first: usize, nblocks: usize) -> usize {
-        (first..nblocks).filter(|&j| self.owner_col(j) == q).count()
+        count_congruent(first, nblocks, q, self.q)
     }
 
     /// Ring order of a process row starting after `root` — the increasing
     /// ring HPL's panel broadcast walks.
     pub fn row_ring(&self, root_q: usize) -> Vec<usize> {
         (1..self.q).map(|i| (root_q + i) % self.q).collect()
+    }
+}
+
+/// Count of `i` in `first..nblocks` with `i % p == r`.
+fn count_congruent(first: usize, nblocks: usize, r: usize, p: usize) -> usize {
+    let len = nblocks.saturating_sub(first);
+    let off = (r + p - first % p) % p;
+    if off >= len {
+        0
+    } else {
+        (len - off - 1) / p + 1
     }
 }
 
@@ -134,6 +147,25 @@ mod tests {
         assert_eq!(g.trailing_blocks_row(0, 3, 10), 3);
         let total: usize = (0..2).map(|q| g.trailing_blocks_col(q, 3, 10)).sum();
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn closed_form_counts_match_exhaustive_filter() {
+        for p in 1..=7usize {
+            let g = ProcessGrid::new(p, p);
+            for first in 0..20 {
+                for nblocks in 0..25 {
+                    for r in 0..p {
+                        let want = (first..nblocks).filter(|&i| i % p == r).count();
+                        assert_eq!(
+                            g.trailing_blocks_row(r, first, nblocks),
+                            want,
+                            "p={p} r={r} first={first} nblocks={nblocks}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

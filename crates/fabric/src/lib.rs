@@ -22,5 +22,5 @@ pub mod net;
 pub mod pcie;
 
 pub use grid::{GridCoord, ProcessGrid};
-pub use net::NetModel;
+pub use net::{BcastScheme, NetModel};
 pub use pcie::{MmQueue, PcieConfig, PcieLink};

@@ -14,6 +14,47 @@
 //! These enter the per-stage simulation as durations, and the pipelined
 //! look-ahead scheme (Fig. 8c) splits them into column strips.
 
+/// Panel-broadcast algorithm along a process row.
+///
+/// HPL ships several broadcast variants and the paper's Fig. 8 tuning
+/// picks among them per machine; the tuner enumerates these three:
+///
+/// * [`Ring`](BcastScheme::Ring) — HPL's `1ring` increasing ring,
+///   pipelined (the default the rest of the repo has always used);
+/// * [`TwoRing`](BcastScheme::TwoRing) — `2ring`: the root injects into
+///   two half-rings, halving the hop count at the cost of sending the
+///   message twice;
+/// * [`Binomial`](BcastScheme::Binomial) — a binomial tree, `⌈log₂ q⌉`
+///   full-message rounds; wins at small messages / large q, loses
+///   pipelining for large panels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BcastScheme {
+    /// Pipelined increasing one-ring (HPL `1ring`).
+    Ring,
+    /// Two half-rings from the root (HPL `2ring`).
+    TwoRing,
+    /// Binomial tree, `⌈log₂ q⌉` store-and-forward rounds.
+    Binomial,
+}
+
+impl BcastScheme {
+    /// All schemes, in the fixed order the tuner enumerates them.
+    pub const ALL: [BcastScheme; 3] = [
+        BcastScheme::Ring,
+        BcastScheme::TwoRing,
+        BcastScheme::Binomial,
+    ];
+
+    /// Stable lowercase name (used in score tables and cache bytes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BcastScheme::Ring => "ring",
+            BcastScheme::TwoRing => "2ring",
+            BcastScheme::Binomial => "binomial",
+        }
+    }
+}
+
 /// Analytic network model.
 #[derive(Clone, Copy, Debug)]
 pub struct NetModel {
@@ -64,6 +105,31 @@ impl NetModel {
         // One full message transmission + per-hop latency + a residual
         // chunk per extra hop (chunking at 1/8 of the message).
         self.latency * hops + bytes / self.bandwidth * (1.0 + 0.125 * (hops - 1.0).max(0.0))
+    }
+
+    /// Broadcast of `bytes` to `q - 1` peers under the given scheme.
+    /// `Ring` delegates to [`ring_bcast`](Self::ring_bcast) and is
+    /// bit-identical to it; the other two reuse the same postal constants
+    /// so the schemes are comparable, not separately calibrated.
+    pub fn bcast(&self, scheme: BcastScheme, bytes: f64, q: usize) -> f64 {
+        if q <= 1 {
+            return 0.0;
+        }
+        match scheme {
+            BcastScheme::Ring => self.ring_bcast(bytes, q),
+            BcastScheme::TwoRing => {
+                // Root feeds two half-rings concurrently: half the hops,
+                // but the root's link carries the message twice, so the
+                // bandwidth term starts at 2× before pipeline residuals.
+                let hops = (q - 1).div_ceil(2) as f64;
+                self.latency * hops + bytes / self.bandwidth * (2.0 + 0.125 * (hops - 1.0).max(0.0))
+            }
+            BcastScheme::Binomial => {
+                // ⌈log₂ q⌉ store-and-forward rounds, full message each.
+                let rounds = (q as f64).log2().ceil().max(1.0);
+                rounds * (self.latency + bytes / self.bandwidth)
+            }
+        }
     }
 
     /// HPL long-swap ("spread-roll") of an `NB`-deep row window `cols`
@@ -128,6 +194,34 @@ mod tests {
         let worse = n.degraded(0.5, 10e-6);
         assert!(worse.p2p(1e8) > n.p2p(1e8));
         assert!(worse.ring_bcast(1e8, 4) > n.ring_bcast(1e8, 4));
+    }
+
+    #[test]
+    fn ring_scheme_is_bit_identical_to_ring_bcast() {
+        let n = NetModel::default();
+        for q in 1..=16 {
+            for bytes in [0.0, 1e3, 1e6, 1e9] {
+                assert_eq!(
+                    n.bcast(BcastScheme::Ring, bytes, q).to_bits(),
+                    n.ring_bcast(bytes, q).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_crossover_matches_intuition() {
+        let n = NetModel::default();
+        // Large panel, modest row: pipelined ring beats binomial.
+        let big = 8.0 * 84_000.0 * 1200.0;
+        assert!(n.bcast(BcastScheme::Ring, big, 10) < n.bcast(BcastScheme::Binomial, big, 10));
+        // Tiny message, wide row: binomial's log rounds beat the ring's
+        // linear latency chain.
+        assert!(n.bcast(BcastScheme::Binomial, 64.0, 64) < n.bcast(BcastScheme::Ring, 64.0, 64));
+        // All schemes free on a single column.
+        for s in BcastScheme::ALL {
+            assert_eq!(n.bcast(s, 1e9, 1), 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Content-addressed tuning cache.
+//!
+//! A tuning result is stored under an FNV-1a key over the machine
+//! fingerprint, the search-space signature, the seed and the tuner
+//! version — the same content-addressing scheme `phi-faults` uses for
+//! replay fingerprints. The serialization is a deterministic text
+//! format with `f64` values as exact hex bit patterns, so two runs with
+//! the same key produce byte-identical cache files, and a loaded
+//! outcome is bit-identical to the stored one (wall time and the
+//! cache-hit flag are deliberately excluded from the bytes).
+
+use crate::search::{ScoredCandidate, TuneOutcome, TunedConfig};
+use crate::space::{Candidate, MachineConfig, TuneSpace};
+use crate::Fnv;
+use phi_fabric::BcastScheme;
+use phi_hpl::hybrid::{Lookahead, WorkDivision};
+use phi_hpl::GigaflopsReport;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the search or serialization changes meaning, so old
+/// cache entries can never be mistaken for current ones.
+const TUNER_VERSION: u64 = 1;
+
+/// The content-addressed cache key of a tuning run.
+pub fn cache_key(machine: &MachineConfig, space: &TuneSpace, seed: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(TUNER_VERSION);
+    h.write_u64(machine.fingerprint());
+    h.write_u64(space.signature());
+    h.write_u64(seed);
+    h.finish()
+}
+
+/// A directory of tuning results, one file per cache key.
+#[derive(Clone, Debug)]
+pub struct TuneCache {
+    dir: PathBuf,
+}
+
+impl TuneCache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The file a key is stored under.
+    pub fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("tune-{key:016x}.txt"))
+    }
+
+    /// Loads the outcome stored under `key`, if any. A corrupt or
+    /// truncated file counts as a miss, not an error — the tuner simply
+    /// re-runs and overwrites it.
+    pub fn load(&self, key: u64) -> io::Result<Option<TuneOutcome>> {
+        let path = self.path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(parse(&text))
+    }
+
+    /// Stores an outcome under its own fingerprint.
+    pub fn store(&self, out: &TuneOutcome) -> io::Result<()> {
+        std::fs::write(self.path(out.fingerprint), serialize(out))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn la_code(la: Lookahead) -> u8 {
+    match la {
+        Lookahead::None => 0,
+        Lookahead::Basic => 1,
+        Lookahead::Pipelined => 2,
+    }
+}
+
+fn bc_code(b: BcastScheme) -> u8 {
+    match b {
+        BcastScheme::Ring => 0,
+        BcastScheme::TwoRing => 1,
+        BcastScheme::Binomial => 2,
+    }
+}
+
+fn cand_line(c: &Candidate) -> String {
+    let div = match c.division {
+        WorkDivision::Dynamic => "dyn".to_string(),
+        WorkDivision::Static { card_fraction } => format!("st:{:016x}", card_fraction.to_bits()),
+    };
+    format!(
+        "nb={} la={} div={div} bc={} grid={}x{}",
+        c.nb,
+        la_code(c.lookahead),
+        bc_code(c.bcast),
+        c.grid.0,
+        c.grid.1
+    )
+}
+
+fn score_line(r: &GigaflopsReport) -> String {
+    format!(
+        "time={:016x} peak={:016x}",
+        r.time_s.to_bits(),
+        r.peak_gflops.to_bits()
+    )
+}
+
+/// The deterministic byte serialization of an outcome (wall time and
+/// the cache-hit flag excluded).
+pub fn serialize(out: &TuneOutcome) -> String {
+    let m = &out.machine;
+    let mut s = String::new();
+    s.push_str("phi-tune cache v1\n");
+    s.push_str(&format!("key {:016x}\n", out.fingerprint));
+    s.push_str(&format!(
+        "machine nodes={} cards={} mem={:016x} n={}\n",
+        m.nodes,
+        m.cards_per_node,
+        m.host_mem_gib.to_bits(),
+        m.n
+    ));
+    s.push_str(&format!("evaluated {}\n", out.candidates_evaluated));
+    s.push_str(&format!("baseline {}\n", cand_line(&out.baseline)));
+    s.push_str(&format!(
+        "baseline-score {}\n",
+        score_line(&out.baseline_report)
+    ));
+    s.push_str(&format!("tuned {}\n", cand_line(&out.tuned.candidate())));
+    s.push_str(&format!("tuned-score {}\n", score_line(&out.tuned_report)));
+    s.push_str(&format!("table {}\n", out.table.len()));
+    for sc in &out.table {
+        s.push_str(&format!(
+            "row {} {}\n",
+            cand_line(&sc.candidate),
+            score_line(&sc.report)
+        ));
+    }
+    s
+}
+
+fn field<'a>(tokens: &'a [&str], name: &str) -> Option<&'a str> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(name)?.strip_prefix('='))
+}
+
+fn parse_cand(tokens: &[&str]) -> Option<Candidate> {
+    let nb: usize = field(tokens, "nb")?.parse().ok()?;
+    let lookahead = match field(tokens, "la")? {
+        "0" => Lookahead::None,
+        "1" => Lookahead::Basic,
+        "2" => Lookahead::Pipelined,
+        _ => return None,
+    };
+    let division = match field(tokens, "div")? {
+        "dyn" => WorkDivision::Dynamic,
+        st => WorkDivision::Static {
+            card_fraction: f64::from_bits(u64::from_str_radix(st.strip_prefix("st:")?, 16).ok()?),
+        },
+    };
+    let bcast = match field(tokens, "bc")? {
+        "0" => BcastScheme::Ring,
+        "1" => BcastScheme::TwoRing,
+        "2" => BcastScheme::Binomial,
+        _ => return None,
+    };
+    let (p, q) = field(tokens, "grid")?.split_once('x')?;
+    Some(Candidate {
+        nb,
+        lookahead,
+        division,
+        bcast,
+        grid: (p.parse().ok()?, q.parse().ok()?),
+    })
+}
+
+fn parse_score(tokens: &[&str], n: usize) -> Option<GigaflopsReport> {
+    let time = f64::from_bits(u64::from_str_radix(field(tokens, "time")?, 16).ok()?);
+    let peak = f64::from_bits(u64::from_str_radix(field(tokens, "peak")?, 16).ok()?);
+    if time <= 0.0 || time.is_nan() {
+        return None;
+    }
+    Some(GigaflopsReport::new(n, time, peak))
+}
+
+fn parse(text: &str) -> Option<TuneOutcome> {
+    let mut lines = text.lines();
+    if lines.next()? != "phi-tune cache v1" {
+        return None;
+    }
+    let key = u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
+    let mtoks: Vec<&str> = lines.next()?.strip_prefix("machine ")?.split(' ').collect();
+    let machine = MachineConfig {
+        nodes: field(&mtoks, "nodes")?.parse().ok()?,
+        cards_per_node: field(&mtoks, "cards")?.parse().ok()?,
+        host_mem_gib: f64::from_bits(u64::from_str_radix(field(&mtoks, "mem")?, 16).ok()?),
+        n: field(&mtoks, "n")?.parse().ok()?,
+    };
+    let evaluated: usize = lines.next()?.strip_prefix("evaluated ")?.parse().ok()?;
+    let btoks: Vec<&str> = lines
+        .next()?
+        .strip_prefix("baseline ")?
+        .split(' ')
+        .collect();
+    let baseline = parse_cand(&btoks)?;
+    let bstoks: Vec<&str> = lines
+        .next()?
+        .strip_prefix("baseline-score ")?
+        .split(' ')
+        .collect();
+    let baseline_report = parse_score(&bstoks, machine.n)?;
+    let ttoks: Vec<&str> = lines.next()?.strip_prefix("tuned ")?.split(' ').collect();
+    let tuned = TunedConfig::from_candidate(machine.n, &parse_cand(&ttoks)?);
+    let tstoks: Vec<&str> = lines
+        .next()?
+        .strip_prefix("tuned-score ")?
+        .split(' ')
+        .collect();
+    let tuned_report = parse_score(&tstoks, machine.n)?;
+    let nrows: usize = lines.next()?.strip_prefix("table ")?.parse().ok()?;
+    let mut table = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let toks: Vec<&str> = lines.next()?.strip_prefix("row ")?.split(' ').collect();
+        table.push(ScoredCandidate {
+            candidate: parse_cand(&toks)?,
+            report: parse_score(&toks, machine.n)?,
+        });
+    }
+    Some(TuneOutcome {
+        fingerprint: key,
+        machine,
+        tuned,
+        tuned_report,
+        baseline,
+        baseline_report,
+        candidates_evaluated: evaluated,
+        table,
+        cache_hit: false,
+        wall_time_s: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{tune, tune_cached, TuneOptions};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("phi-tune-test-{}-{tag}", std::process::id()))
+    }
+
+    fn small_machine() -> MachineConfig {
+        MachineConfig {
+            nodes: 2,
+            cards_per_node: 1,
+            host_mem_gib: 64.0,
+            n: 90_000,
+        }
+    }
+
+    #[test]
+    fn cache_determinism_same_seed_identical_bytes() {
+        // Satellite gate: two runs with the same seed and machine
+        // fingerprint produce identical TunedConfig and identical cache
+        // bytes; a changed fingerprint misses the cache.
+        let m = small_machine();
+        let space = TuneSpace::coarse(&m);
+        let opts = TuneOptions {
+            coarse_only: true,
+            ..TuneOptions::default()
+        };
+        let a = tune(&m, &space, &opts);
+        let b = tune(&m, &space, &opts);
+        assert_eq!(a.tuned, b.tuned);
+        assert_eq!(serialize(&a).as_bytes(), serialize(&b).as_bytes());
+
+        // A different machine fingerprint keys differently.
+        let other = MachineConfig { n: 60_000, ..m };
+        assert_ne!(
+            cache_key(&m, &space, opts.seed),
+            cache_key(&other, &TuneSpace::coarse(&other), opts.seed)
+        );
+        // A different seed keys differently too.
+        assert_ne!(
+            cache_key(&m, &space, opts.seed),
+            cache_key(&m, &space, opts.seed + 1)
+        );
+    }
+
+    #[test]
+    fn second_run_is_a_pure_cache_hit() {
+        let dir = tmp_dir("hit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TuneCache::open(&dir).unwrap();
+        let m = small_machine();
+        let space = TuneSpace::coarse(&m);
+        let opts = TuneOptions {
+            coarse_only: true,
+            ..TuneOptions::default()
+        };
+        let first = tune_cached(&m, &space, &opts, &cache).unwrap();
+        assert!(!first.cache_hit);
+        let second = tune_cached(&m, &space, &opts, &cache).unwrap();
+        assert!(second.cache_hit, "second run must be served from cache");
+        assert_eq!(first.tuned, second.tuned);
+        assert_eq!(
+            first.tuned_report.time_s.to_bits(),
+            second.tuned_report.time_s.to_bits()
+        );
+        assert_eq!(first.candidates_evaluated, second.candidates_evaluated);
+        // The file on disk round-trips the serialization byte-exactly.
+        let bytes = std::fs::read(cache.path(first.fingerprint)).unwrap();
+        assert_eq!(bytes, serialize(&first).into_bytes());
+
+        // A changed fingerprint (different machine) misses.
+        let other = MachineConfig { n: 60_000, ..m };
+        let other_space = TuneSpace::coarse(&other);
+        let miss = tune_cached(&other, &other_space, &opts, &cache).unwrap();
+        assert!(!miss.cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serialization_roundtrips_bit_exactly() {
+        let m = small_machine();
+        let space = TuneSpace::coarse(&m);
+        let opts = TuneOptions {
+            coarse_only: true,
+            seed: 42,
+            ..TuneOptions::default()
+        };
+        let out = tune(&m, &space, &opts);
+        let text = serialize(&out);
+        let back = parse(&text).expect("own serialization parses");
+        assert_eq!(back.fingerprint, out.fingerprint);
+        assert_eq!(back.machine, out.machine);
+        assert_eq!(back.tuned, out.tuned);
+        assert_eq!(
+            back.tuned_report.time_s.to_bits(),
+            out.tuned_report.time_s.to_bits()
+        );
+        assert_eq!(
+            back.tuned_report.gflops.to_bits(),
+            out.tuned_report.gflops.to_bits()
+        );
+        assert_eq!(
+            back.baseline_report.time_s.to_bits(),
+            out.baseline_report.time_s.to_bits()
+        );
+        assert_eq!(back.table.len(), out.table.len());
+        for (x, y) in back.table.iter().zip(&out.table) {
+            assert_eq!(x.candidate, y.candidate);
+            assert_eq!(x.report.time_s.to_bits(), y.report.time_s.to_bits());
+        }
+        // Re-serializing the parsed outcome is byte-identical.
+        assert_eq!(serialize(&back).as_bytes(), text.as_bytes());
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_a_miss_not_an_error() {
+        let dir = tmp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TuneCache::open(&dir).unwrap();
+        std::fs::write(cache.path(0xDEAD), "not a cache file").unwrap();
+        assert!(cache.load(0xDEAD).unwrap().is_none());
+        assert!(cache.load(0xBEEF).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

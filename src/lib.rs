@@ -14,7 +14,9 @@
 //! | [`fabric`] | `phi-fabric` | PCIe + mm-queues, P×Q grids, InfiniBand model |
 //! | [`sched`] | `phi-sched` | panel DAG, thread groups, super-stages, tile stealing |
 //! | [`hpl`] | `phi-hpl` | native / offload / hybrid Linpack, both backends |
+//! | [`faults`] | `phi-faults` | deterministic fault plans, fault-tolerant cluster runs |
 //! | [`lint`] | `phi-lint` | static kernel verifier, issue-slot analyzer, cycle bound |
+//! | [`tune`] | `phi-tune` | seeded autotuner: NB, look-ahead, work division, bcast, grid |
 //!
 //! # Quick start
 //!
@@ -41,15 +43,31 @@
 //! let report = NativeConfig::new(30_720).simulate(NativeScheme::DynamicScheduling);
 //! assert!((report.efficiency() - 0.788).abs() < 0.02); // paper: 78.8%
 //! ```
+//!
+//! Autotune the paper's single-node machine and render the winning
+//! configuration as an `HPL.dat`:
+//!
+//! ```
+//! use linpack_phi::tune::{tune, MachineConfig, TuneOptions, TuneSpace};
+//!
+//! let m = MachineConfig::paper_single_node();
+//! let opts = TuneOptions { coarse_only: true, ..TuneOptions::default() };
+//! let out = tune(&m, &TuneSpace::coarse(&m), &opts);
+//! assert!(out.tuned_report.gflops >= out.baseline_report.gflops);
+//! let dat = out.tuned.hpl_dat().render();
+//! assert!(dat.contains("NBs"));
+//! ```
 
 #![warn(missing_docs)]
 
 pub use phi_blas as blas;
 pub use phi_des as des;
 pub use phi_fabric as fabric;
+pub use phi_faults as faults;
 pub use phi_hpl as hpl;
 pub use phi_knc as knc;
 pub use phi_lint as lint;
 pub use phi_matrix as matrix;
 pub use phi_sched as sched;
+pub use phi_tune as tune;
 pub use phi_xeon as xeon;
