@@ -85,20 +85,7 @@ fn main() {
         );
     }
 
-    println!("\n## Fault campaign\n");
-    println!("| scenario | events | lost | overhead | ckpt(s) | rec(s) |");
-    println!("|---|---|---|---|---|---|");
-    for r in fault_campaign_rows(0xFA_0175) {
-        println!(
-            "| {} | {} | {} | {:+.1}% | {:.2} | {:.2} |",
-            r.scenario,
-            r.events,
-            r.cards_lost,
-            100.0 * r.overhead,
-            r.checkpoint_s,
-            r.recovery_s
-        );
-    }
+    print!("\n{}", experiments_fault_section_md(0xFA_0175));
 
     println!("\n## Table III\n");
     println!("| system | N | P×Q | measured | paper |");

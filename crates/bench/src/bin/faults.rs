@@ -1,6 +1,15 @@
 //! Fault campaign: degraded-vs-healthy hybrid Linpack under seeded,
 //! replayable fault plans. Pass a hex or decimal seed to change the
 //! random campaigns; the replay check must always print bit-identical.
+//!
+//! ```text
+//! faults [SEED] [--single] [--cluster] [--out FILE]
+//! ```
+//!
+//! By default both the single-node table and the Table III 100-node
+//! cluster table are printed; `--single` / `--cluster` restrict to one.
+//! `--out FILE` additionally writes the report to `FILE` (the CI smoke
+//! job uploads it as an artifact).
 
 use std::fmt;
 use std::process::ExitCode;
@@ -32,19 +41,60 @@ fn parse_seed(s: &str) -> Result<u64, SeedError> {
 }
 
 fn main() -> ExitCode {
-    let seed = match std::env::args().nth(1) {
-        Some(arg) => match parse_seed(&arg) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("faults: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => 0xFA_0175,
-    };
-    println!(
-        "== Fault campaign ==\n{}",
-        phi_bench::fault_campaign_render(seed)
-    );
+    let mut seed = 0xFA_0175u64;
+    let mut single = false;
+    let mut cluster = false;
+    let mut out_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--single" => single = true,
+            "--cluster" => cluster = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("faults: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => match parse_seed(other) {
+                Ok(s) => seed = s,
+                Err(e) => {
+                    eprintln!("faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    // Neither flag means both tables.
+    if !single && !cluster {
+        single = true;
+        cluster = true;
+    }
+
+    let mut report = String::new();
+    if single {
+        report.push_str(&format!(
+            "== Fault campaign (single node) ==\n{}",
+            phi_bench::fault_campaign_render(seed)
+        ));
+    }
+    if cluster {
+        if single {
+            report.push('\n');
+        }
+        report.push_str(&format!(
+            "== Fault campaign (Table III, N = 825K on 10x10) ==\n{}",
+            phi_bench::fault_campaign_cluster_render(seed)
+        ));
+    }
+    print!("{report}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("faults: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -1,14 +1,18 @@
 //! The fault campaign: degraded-vs-healthy hybrid Linpack under seeded,
 //! replayable fault plans — the robustness companion to the paper's
-//! Table III. Every scenario runs through the fault-tolerant cluster
-//! simulator; the renderer closes with a replay check that re-runs one
-//! campaign and verifies bit-identity.
+//! Table III. Scenarios run on the paper's single-node configuration
+//! and, via [`fault_campaign_cluster_rows`], on the Table III 100-node
+//! system (N = 825K on a 10 × 10 grid), where host-rank deaths force a
+//! fallback-grid recovery. Every scenario runs through the
+//! fault-tolerant cluster simulator; the renderers close with a replay
+//! check that re-runs one campaign and verifies bit-identity.
 
 use crate::TextTable;
 use phi_fabric::ProcessGrid;
-use phi_faults::{FaultKind, FaultPlan};
+use phi_faults::{Escalation, FaultKind, FaultPlan};
 use phi_hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
 use phi_hpl::{simulate_cluster_faulty, FtPolicy};
+use std::fmt::Write;
 
 /// One campaign scenario's degraded-vs-healthy outcome.
 #[derive(Clone, Debug)]
@@ -19,6 +23,10 @@ pub struct CampaignRow {
     pub events: usize,
     /// Cards permanently lost.
     pub cards_lost: usize,
+    /// Host ranks permanently lost.
+    pub hosts_lost: usize,
+    /// Grid the survivors re-formed, when a host died.
+    pub fallback: Option<(usize, usize)>,
     /// Degraded wall time, seconds.
     pub time_s: f64,
     /// Healthy wall time of the same configuration, seconds.
@@ -36,8 +44,26 @@ pub struct CampaignRow {
     pub fingerprint: u64,
 }
 
+impl CampaignRow {
+    /// The fallback grid as `pxq`, or `-` when no host died.
+    pub fn fallback_label(&self) -> String {
+        match self.fallback {
+            Some((p, q)) => format!("{p}x{q}"),
+            None => "-".to_string(),
+        }
+    }
+}
+
 fn paper_node() -> HybridConfig {
     let mut cfg = HybridConfig::new(30_000, ProcessGrid::new(1, 1), 1);
+    cfg.lookahead = Lookahead::Pipelined;
+    cfg
+}
+
+/// The paper's Table III 100-node system: N = 825K on a 10 × 10 grid,
+/// one coprocessor per node, pipelined look-ahead.
+pub fn paper_cluster() -> HybridConfig {
+    let mut cfg = HybridConfig::new(825_000, ProcessGrid::new(10, 10), 1);
     cfg.lookahead = Lookahead::Pipelined;
     cfg
 }
@@ -53,6 +79,8 @@ fn run(cfg: &HybridConfig, label: &str, plan: &FaultPlan, policy: &FtPolicy) -> 
         scenario: label.to_string(),
         events: f.events,
         cards_lost: f.cards_lost,
+        hosts_lost: f.hosts_lost,
+        fallback: f.fallback_grid,
         time_s: out.result.report.time_s,
         healthy_s: f.healthy_time_s,
         gflops: out.result.report.gflops,
@@ -124,17 +152,105 @@ pub fn fault_campaign_rows(seed: u64) -> Vec<CampaignRow> {
     rows
 }
 
-/// Renders the campaign table and the replay determinism check.
-pub fn fault_campaign_render(seed: u64) -> String {
-    let rows = fault_campaign_rows(seed);
+/// The Table III 100-node scenario set: healthy baseline, a transient
+/// link fault, host-rank deaths under both recovery policies, a card
+/// death, the two cascade archetypes (storm → card, link flap → host),
+/// and two seeded cluster campaigns derived from `seed`.
+pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
+    let cfg = paper_cluster();
+    let healthy = simulate_cluster(&cfg, false).report.time_s;
+    let none = FtPolicy::none();
+    let ckpt = FtPolicy::default();
+
+    let host_death = FaultPlan::none().with_event(healthy / 3.0, FaultKind::HostDeath { rank: 42 });
+    let storm_cascade = FaultPlan::none()
+        .with_cascade(
+            healthy / 3.0,
+            FaultKind::PcieCrcStorm {
+                stall_s: 2e-4,
+                duration_s: healthy * 0.1,
+            },
+            Escalation {
+                kind: FaultKind::CardDeath { card: 0 },
+                delay_s: healthy * 0.05,
+                probability: 1.0,
+            },
+        )
+        .resolved(seed, healthy * 2.0);
+    let flap_cascade = FaultPlan::none()
+        .with_cascade(
+            healthy / 2.0,
+            FaultKind::LinkDegrade {
+                factor: 0.2,
+                duration_s: healthy * 0.1,
+            },
+            Escalation {
+                kind: FaultKind::HostDeath { rank: 7 },
+                delay_s: healthy * 0.05,
+                probability: 1.0,
+            },
+        )
+        .resolved(seed, healthy * 2.0);
+
+    let mut rows = vec![
+        run(&cfg, "healthy (zero-fault plan)", &FaultPlan::none(), &none),
+        run(
+            &cfg,
+            "link degrade 50%, T/5 window",
+            &FaultPlan::none().with_event(
+                healthy * 0.4,
+                FaultKind::LinkDegrade {
+                    factor: 0.5,
+                    duration_s: healthy * 0.2,
+                },
+            ),
+            &none,
+        ),
+        run(&cfg, "host death @ T/3, checkpointed", &host_death, &ckpt),
+        run(&cfg, "host death @ T/3, recompute", &host_death, &none),
+        run(
+            &cfg,
+            "card death @ T/3, checkpointed",
+            &FaultPlan::none().with_event(healthy / 3.0, FaultKind::CardDeath { card: 0 }),
+            &ckpt,
+        ),
+        run(
+            &cfg,
+            "CRC storm -> card death cascade",
+            &storm_cascade,
+            &ckpt,
+        ),
+        run(
+            &cfg,
+            "link flap -> host death cascade",
+            &flap_cascade,
+            &ckpt,
+        ),
+    ];
+    for i in 0..2u64 {
+        let s = seed.wrapping_add(i);
+        rows.push(run(
+            &cfg,
+            &format!("cluster campaign seed {s:#x}"),
+            &FaultPlan::cluster_campaign(s, healthy * 1.2, 6, cfg.grid.size(), cfg.cards_per_node),
+            &ckpt,
+        ));
+    }
+    rows
+}
+
+fn render_rows(rows: &[CampaignRow]) -> String {
     let mut t = TextTable::new([
-        "scenario", "events", "lost", "t(s)", "healthy", "GFLOPS", "ovhd", "ckpt(s)", "rec(s)",
+        "scenario", "events", "cards", "hosts", "grid", "t(s)", "healthy", "GFLOPS", "ovhd",
+        "ckpt(s)", "rec(s)",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.scenario.clone(),
             r.events.to_string(),
             r.cards_lost.to_string(),
+            r.hosts_lost.to_string(),
+            r.fallback_label(),
             format!("{:.2}", r.time_s),
             format!("{:.2}", r.healthy_s),
             format!("{:.0}", r.gflops),
@@ -143,25 +259,93 @@ pub fn fault_campaign_render(seed: u64) -> String {
             format!("{:.2}", r.recovery_s),
         ]);
     }
+    t.render()
+}
 
-    // Replay check: the same seed must reproduce the same run, bit for
-    // bit — re-run the first seeded campaign and compare fingerprints.
-    let cfg = paper_node();
-    let healthy = simulate_cluster(&cfg, false).report.time_s;
-    let plan = FaultPlan::campaign(seed, healthy * 1.5, 5);
-    let a = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
-    let b = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+fn replay_check(cfg: &HybridConfig, plan: &FaultPlan, seed: u64) -> String {
+    let a = simulate_cluster_faulty(cfg, plan, &FtPolicy::default(), false);
+    let b = simulate_cluster_faulty(cfg, plan, &FtPolicy::default(), false);
     let verdict = if a.run_fingerprint() == b.run_fingerprint() {
         "bit-identical"
     } else {
         "MISMATCH"
     };
     format!(
-        "{}\nreplay check (seed {seed:#x}): {:#018x} vs {:#018x} — {verdict}\n",
-        t.render(),
+        "replay check (seed {seed:#x}): {:#018x} vs {:#018x} — {verdict}\n",
         a.run_fingerprint(),
         b.run_fingerprint(),
     )
+}
+
+/// Renders the single-node campaign table and the replay determinism
+/// check.
+pub fn fault_campaign_render(seed: u64) -> String {
+    let rows = fault_campaign_rows(seed);
+    // Replay check: the same seed must reproduce the same run, bit for
+    // bit — re-run the first seeded campaign and compare fingerprints.
+    let cfg = paper_node();
+    let healthy = simulate_cluster(&cfg, false).report.time_s;
+    let plan = FaultPlan::campaign(seed, healthy * 1.5, 5);
+    format!(
+        "{}\n{}",
+        render_rows(&rows),
+        replay_check(&cfg, &plan, seed)
+    )
+}
+
+/// Renders the Table III 100-node campaign table and its replay check.
+pub fn fault_campaign_cluster_render(seed: u64) -> String {
+    let rows = fault_campaign_cluster_rows(seed);
+    let cfg = paper_cluster();
+    let healthy = simulate_cluster(&cfg, false).report.time_s;
+    let plan =
+        FaultPlan::cluster_campaign(seed, healthy * 1.2, 6, cfg.grid.size(), cfg.cards_per_node);
+    format!(
+        "{}\n{}",
+        render_rows(&rows),
+        replay_check(&cfg, &plan, seed)
+    )
+}
+
+/// The fault section of `experiments_md`, shared by the binary and the
+/// golden-snapshot test: single-node campaign plus the Table III
+/// cluster scenarios, as markdown.
+pub fn experiments_fault_section_md(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("## Fault campaign\n\n");
+    out.push_str("| scenario | events | lost | overhead | ckpt(s) | rec(s) |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for r in fault_campaign_rows(seed) {
+        writeln!(
+            out,
+            "| {} | {} | {} | {:+.1}% | {:.2} | {:.2} |",
+            r.scenario,
+            r.events,
+            r.cards_lost,
+            100.0 * r.overhead,
+            r.checkpoint_s,
+            r.recovery_s
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("\n### Table III cluster scenarios (N = 825K, 10×10)\n\n");
+    out.push_str("| scenario | events | cards | hosts | grid | overhead | rec(s) |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for r in fault_campaign_cluster_rows(seed) {
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:+.1}% | {:.2} |",
+            r.scenario,
+            r.events,
+            r.cards_lost,
+            r.hosts_lost,
+            r.fallback_label(),
+            100.0 * r.overhead,
+            r.recovery_s
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -193,5 +377,44 @@ mod tests {
         let text = fault_campaign_render(0xBEEF);
         assert!(text.contains("bit-identical"), "{text}");
         assert!(!text.contains("MISMATCH"), "{text}");
+    }
+
+    #[test]
+    fn cluster_table_covers_host_death_and_recovers() {
+        let rows = fault_campaign_cluster_rows(0xFA_0175);
+        // Zero-fault row is exactly healthy.
+        assert!((rows[0].overhead).abs() < 1e-12);
+        assert_eq!(rows[0].fallback, None);
+        // The checkpointed host-death row: one rank lost, survivors on
+        // the 9×11 fallback grid, overhead well under 1 (the ISSUE 4
+        // acceptance bar) and checkpointed recovery cheaper than
+        // recomputing the dead rank's share.
+        let ck = &rows[2];
+        assert_eq!((ck.hosts_lost, ck.cards_lost), (1, 0));
+        assert_eq!(ck.fallback, Some((9, 11)));
+        assert!(ck.overhead > 0.0 && ck.overhead < 1.0, "{}", ck.overhead);
+        let re = &rows[3];
+        assert!(ck.recovery_s < re.recovery_s);
+        // Cascades resolve into two-event causal units.
+        let storm = &rows[5];
+        assert_eq!((storm.events, storm.cards_lost), (2, 1));
+        let flap = &rows[6];
+        assert_eq!((flap.events, flap.hosts_lost), (2, 1));
+        assert!(flap.fallback.is_some());
+        // Monotone: every faulted row costs time and GF/s.
+        for r in &rows[1..] {
+            assert!(r.time_s >= r.healthy_s, "{}", r.scenario);
+            assert!(r.gflops <= rows[0].gflops, "{}", r.scenario);
+        }
+    }
+
+    #[test]
+    fn cluster_render_is_deterministic() {
+        let a = fault_campaign_cluster_render(0xCAFE);
+        assert_eq!(a, fault_campaign_cluster_render(0xCAFE));
+        assert!(a.contains("bit-identical"), "{a}");
+        let md = experiments_fault_section_md(0xCAFE);
+        assert_eq!(md, experiments_fault_section_md(0xCAFE));
+        assert!(md.contains("Table III cluster scenarios"));
     }
 }

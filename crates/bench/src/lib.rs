@@ -17,6 +17,9 @@ pub mod lintgate;
 pub mod tune;
 
 pub use experiments::*;
-pub use faults::{fault_campaign_render, fault_campaign_rows, CampaignRow};
+pub use faults::{
+    experiments_fault_section_md, fault_campaign_cluster_render, fault_campaign_cluster_rows,
+    fault_campaign_render, fault_campaign_rows, paper_cluster, CampaignRow,
+};
 pub use format::TextTable;
 pub use phi_hpl::native::NativeScheme;

@@ -127,9 +127,73 @@ impl<T: Scalar> LuFactors<T> {
     }
 }
 
+/// One stage of the blocked right-looking LU: factor the panel starting
+/// at column `j`, swap, forward-solve the row panel and GEMM-update the
+/// trailing sub-matrix. Returns the next stage's starting column.
+///
+/// The factorization state between stages is fully captured by
+/// `(a, ipiv, j)`: checkpoint those three, and the factorization can be
+/// resumed from the checkpoint — after a crash, on another host — and
+/// produce factors bit-identical to an uninterrupted [`getrf`]. That
+/// resumability is the numeric ground truth behind the analytic
+/// host-death recovery model in `phi-hpl`.
+pub fn getrf_stage<T: Scalar>(
+    a: &mut MatrixViewMut<'_, T>,
+    j: usize,
+    nb: usize,
+    bs: &BlockSizes,
+    ipiv: &mut [usize],
+) -> Result<usize, LuError> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(nb > 0, "panel width must be positive");
+    let steps = m.min(n);
+    assert!(j < steps, "stage start {j} out of range (steps = {steps})");
+    assert_eq!(ipiv.len(), steps, "pivot buffer length");
+    let jb = nb.min(steps - j);
+    let mut panel_piv = Vec::with_capacity(jb);
+
+    // 1. Factor the current panel: rows j..m, cols j..j+jb.
+    {
+        let mut panel = a.sub_mut(j, j, m - j, jb);
+        getf2(&mut panel, &mut panel_piv, j)?;
+    }
+    // Record absolute pivots.
+    for (t, &p) in panel_piv.iter().enumerate() {
+        ipiv[j + t] = j + p;
+    }
+    // 2. Apply the swaps to the columns left and right of the panel
+    //    (the panel itself was swapped during factorization).
+    if j > 0 {
+        let mut left = a.sub_mut(j, 0, m - j, j);
+        laswp_forward(&mut left, &panel_piv);
+    }
+    if j + jb < n {
+        let mut right = a.sub_mut(j, j + jb, m - j, n - j - jb);
+        laswp_forward(&mut right, &panel_piv);
+
+        // 3. Forward solve the row panel: U12 := L11^{-1} A12.
+        //    L11 is the unit-lower jb×jb block of the factored panel.
+        let (panel_rows, mut right_all) =
+            a.reborrow().into_sub(j, j, m - j, n - j).split_cols_mut(jb);
+        let l11 = panel_rows.as_view().sub(0, 0, jb, jb);
+        {
+            let mut u12 = right_all.sub_mut(0, 0, jb, n - j - jb);
+            trsm_left_lower_unit(&l11, &mut u12);
+        }
+        // 4. Trailing update: A22 -= L21 * U12.
+        if j + jb < m {
+            let l21 = panel_rows.as_view().sub(jb, 0, m - j - jb, jb);
+            let (u12_rows, mut a22) = right_all.split_rows_mut(jb);
+            let u12 = u12_rows.as_view();
+            gemm_with(-T::ONE, &l21, &u12, T::ONE, &mut a22, bs);
+        }
+    }
+    Ok(j + jb)
+}
+
 /// Blocked right-looking LU with partial pivoting, in place, with panel
 /// width `nb` — the sequential reference for every parallel Linpack
-/// flavour in the workspace.
+/// flavour in the workspace. Drives [`getrf_stage`] to completion.
 ///
 /// Returns the absolute pivot sequence.
 pub fn getrf<T: Scalar>(
@@ -141,48 +205,9 @@ pub fn getrf<T: Scalar>(
     assert!(nb > 0, "panel width must be positive");
     let steps = m.min(n);
     let mut ipiv = vec![0usize; steps];
-    let mut panel_piv = Vec::new();
-
     let mut j = 0;
     while j < steps {
-        let jb = nb.min(steps - j);
-        // 1. Factor the current panel: rows j..m, cols j..j+jb.
-        {
-            let mut panel = a.sub_mut(j, j, m - j, jb);
-            getf2(&mut panel, &mut panel_piv, j)?;
-        }
-        // Record absolute pivots.
-        for (t, &p) in panel_piv.iter().enumerate() {
-            ipiv[j + t] = j + p;
-        }
-        // 2. Apply the swaps to the columns left and right of the panel
-        //    (the panel itself was swapped during factorization).
-        if j > 0 {
-            let mut left = a.sub_mut(j, 0, m - j, j);
-            laswp_forward(&mut left, &panel_piv);
-        }
-        if j + jb < n {
-            let mut right = a.sub_mut(j, j + jb, m - j, n - j - jb);
-            laswp_forward(&mut right, &panel_piv);
-
-            // 3. Forward solve the row panel: U12 := L11^{-1} A12.
-            //    L11 is the unit-lower jb×jb block of the factored panel.
-            let (panel_rows, mut right_all) =
-                a.reborrow().into_sub(j, j, m - j, n - j).split_cols_mut(jb);
-            let l11 = panel_rows.as_view().sub(0, 0, jb, jb);
-            {
-                let mut u12 = right_all.sub_mut(0, 0, jb, n - j - jb);
-                trsm_left_lower_unit(&l11, &mut u12);
-            }
-            // 4. Trailing update: A22 -= L21 * U12.
-            if j + jb < m {
-                let l21 = panel_rows.as_view().sub(jb, 0, m - j - jb, jb);
-                let (u12_rows, mut a22) = right_all.split_rows_mut(jb);
-                let u12 = u12_rows.as_view();
-                gemm_with(-T::ONE, &l21, &u12, T::ONE, &mut a22, bs);
-            }
-        }
-        j += jb;
+        j = getrf_stage(a, j, nb, bs, &mut ipiv)?;
     }
     Ok(ipiv)
 }
@@ -257,6 +282,56 @@ mod tests {
                 report.scaled_residual
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // The host-death recovery story in numbers: factor three panels,
+        // checkpoint (a, ipiv, j), lose the live state, restore the
+        // checkpoint on a "survivor" and finish. The factors must be
+        // bit-identical to an uninterrupted run and the solve must pass
+        // the HPL residual test.
+        let (n, nb) = (96usize, 16usize);
+        let a0 = MatGen::new(21).matrix::<f64>(n, n);
+        let b = MatGen::new(22).rhs::<f64>(n);
+        let bs = BlockSizes::default();
+
+        let mut full = a0.clone();
+        let piv_full = getrf(&mut full.view_mut(), nb, &bs).unwrap();
+
+        let mut a = a0.clone();
+        let mut ipiv = vec![0usize; n];
+        let mut j = 0;
+        for _ in 0..3 {
+            j = getrf_stage(&mut a.view_mut(), j, nb, &bs, &mut ipiv).unwrap();
+        }
+        let (ckpt_a, ckpt_piv, ckpt_j) = (a.clone(), ipiv.clone(), j);
+        // The crash: the in-flight state is gone.
+        for i in 0..n {
+            for c in 0..n {
+                a[(i, c)] = f64::NAN;
+            }
+        }
+        ipiv.fill(usize::MAX);
+        // Restore and resume to completion.
+        let (mut a, mut ipiv, mut j) = (ckpt_a, ckpt_piv, ckpt_j);
+        while j < n {
+            j = getrf_stage(&mut a.view_mut(), j, nb, &bs, &mut ipiv).unwrap();
+        }
+
+        assert_eq!(ipiv, piv_full, "pivot sequences must agree");
+        for i in 0..n {
+            for c in 0..n {
+                assert_eq!(
+                    a[(i, c)].to_bits(),
+                    full[(i, c)].to_bits(),
+                    "factor bits diverged at ({i},{c})"
+                );
+            }
+        }
+        let x = LuFactors { lu: a, ipiv }.solve(&b);
+        let report = hpl_residual(&a0.view(), &x, &b);
+        assert!(report.passed, "scaled residual {}", report.scaled_residual);
     }
 
     #[test]

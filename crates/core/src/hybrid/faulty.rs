@@ -21,6 +21,13 @@
 //!   last card dies the update falls back to the host-only branch — the
 //!   paper's dynamic work-division rebalance with the card share forced
 //!   to zero — and the factorization still completes.
+//! * **Host-rank death** — permanent, also applied at the next panel
+//!   boundary. The surviving ranks re-form a (possibly smaller)
+//!   [`ProcessGrid::fallback_grid`], the dead ranks' share of the
+//!   factored state is restored from panel checkpoints streamed over
+//!   the fabric (or recomputed outright when checkpointing is off), the
+//!   trailing matrix is redistributed to the new block-cyclic
+//!   ownership, and the factorization continues on the remapped grid.
 //!
 //! Panel-granular checkpointing ([`FtPolicy::checkpoint_panels`]) adds
 //! its write cost to every stage; that is the premium paid for cheap
@@ -38,7 +45,8 @@ use super::{
 };
 use crate::report::{FaultSummary, GigaflopsReport};
 use phi_des::{Kind, Trace};
-use phi_faults::{Effects, FaultKind, FaultPlan};
+use phi_fabric::ProcessGrid;
+use phi_faults::{Effects, FaultPlan};
 
 /// Fault-tolerance policy of the run: what the cluster pays up front
 /// (checkpoints) and what recovery costs when a card dies.
@@ -54,6 +62,10 @@ pub struct FtPolicy {
     /// Fixed cost of one §V dynamic work re-division after a card loss
     /// (draining queues, re-partitioning tiles, re-arming DMA).
     pub rebalance_s: f64,
+    /// Per-link bandwidth at which the trailing matrix is redistributed
+    /// to the fallback grid after a host death, bytes/s. Survivors pull
+    /// in parallel, so the aggregate rate is `survivors ×` this.
+    pub redistribution_bw: f64,
 }
 
 impl FtPolicy {
@@ -63,6 +75,7 @@ impl FtPolicy {
             checkpoint_panels: false,
             checkpoint_bw: 8e9,
             rebalance_s: 0.25,
+            redistribution_bw: 6.8e9,
         }
     }
 }
@@ -261,16 +274,21 @@ pub fn simulate_cluster_faulty(
     );
     let s = cfg.n.div_ceil(cfg.nb);
     let host = &cfg.offload.host;
-    let (p, q) = (cfg.grid.p, cfg.grid.q);
 
     let mut trace = Trace::default();
     trace.enable();
+
+    // The live configuration: host deaths remap `cur.grid` mid-run, so
+    // every stage prices against the grid the survivors actually form.
+    // With no host deaths `cur` stays bit-identical to `cfg`.
+    let mut cur = *cfg;
 
     let mut total = 0.0f64;
     let mut card_busy_total = 0.0f64;
     let mut profiles = Vec::new();
 
     let mut deaths_applied = 0usize;
+    let mut hosts_applied = 0usize;
     let mut degraded_stages = 0usize;
     let mut checkpoint_s = 0.0f64;
     let mut recovery_s = 0.0f64;
@@ -287,7 +305,7 @@ pub fn simulate_cluster_faulty(
             let newly_dead = deaths_now - deaths_applied;
             let restore = if policy.checkpoint_panels {
                 // Reload factorization state from the panel checkpoints.
-                8.0 * ((cfg.n / p).max(nb) * nb) as f64 / policy.checkpoint_bw
+                8.0 * ((cfg.n / cur.grid.p).max(nb) * nb) as f64 / policy.checkpoint_bw
             } else {
                 // No checkpoint: the in-flight stage's update replays.
                 prev_update
@@ -299,7 +317,41 @@ pub fn simulate_cluster_faulty(
             deaths_applied = deaths_now;
         }
         let cards_avail = cfg.cards_per_node - deaths_applied;
-        if cards_avail < cfg.cards_per_node {
+
+        // Host-rank deaths, also at panel boundaries: survivors re-form
+        // the grid, restore the dead ranks' factored state over the
+        // fabric (or recompute it without checkpoints) and redistribute
+        // the trailing matrix to the new block-cyclic ownership.
+        let hosts_now = plan
+            .effects_at(total)
+            .hosts_lost
+            .min(cfg.grid.size().saturating_sub(1));
+        if hosts_now > hosts_applied {
+            let newly = hosts_now - hosts_applied;
+            let survivors = cfg.grid.size() - hosts_now;
+            let factored_cols = (stage * cfg.nb).min(cfg.n);
+            let restore = if policy.checkpoint_panels {
+                // The dead ranks' block-cyclic share of the factored
+                // state streams from checkpoint replicas over the fabric.
+                8.0 * factored_cols as f64 * cfg.n as f64 * newly as f64
+                    / cfg.grid.size() as f64
+                    / cfg.net.bandwidth
+            } else {
+                // No checkpoint: the dead ranks' share of everything done
+                // so far is recomputed by the survivors.
+                total * newly as f64 / cfg.grid.size() as f64
+            };
+            let trailing = (cfg.n - factored_cols) as f64;
+            let redistribution =
+                8.0 * trailing * trailing / (survivors as f64 * policy.redistribution_bw);
+            let cost = newly as f64 * policy.rebalance_s + restore + redistribution;
+            trace.record(2, total, total + cost, Kind::Recovery);
+            total += cost;
+            recovery_s += cost;
+            hosts_applied = hosts_now;
+            cur.grid = ProcessGrid::fallback_grid(survivors);
+        }
+        if cards_avail < cfg.cards_per_node || hosts_applied > 0 {
             degraded_stages += 1;
         }
 
@@ -307,9 +359,9 @@ pub fn simulate_cluster_faulty(
         // models, then average the plan's transient windows over that
         // estimate. Deterministic, and exact when no window straddles
         // the stage boundary.
-        let est = stage_times(cfg, stage, s, cards_avail, &Effects::healthy());
+        let est = stage_times(&cur, stage, s, cards_avail, &Effects::healthy());
         let eff = plan.effects_over(total, total + est.stage_time);
-        let st = stage_times(cfg, stage, s, cards_avail, &eff);
+        let st = stage_times(&cur, stage, s, cards_avail, &eff);
 
         trace.record(
             0,
@@ -333,7 +385,7 @@ pub fn simulate_cluster_faulty(
             // Panel-granular checkpoint: the factored m × nb panel and
             // its pivots are copied to a retained host region before the
             // stage retires.
-            let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
+            let m_panel_loc = ((cfg.n - stage * cfg.nb) / cur.grid.p).max(nb);
             let ckpt = (8.0 * (m_panel_loc * nb) as f64 + 8.0 * nb as f64) / policy.checkpoint_bw;
             trace.record(0, total, total + ckpt, Kind::Comm);
             total += ckpt;
@@ -353,14 +405,15 @@ pub fn simulate_cluster_faulty(
         }
     }
 
-    total += 2.0 * (cfg.n as f64 / p as f64) * (cfg.n as f64 / q as f64) * 8.0
+    total += 2.0 * (cfg.n as f64 / cur.grid.p as f64) * (cfg.n as f64 / cur.grid.q as f64) * 8.0
         / (host.cfg.stream_bw_gbs * 1e9);
 
     // Fault windows on the fault lane, clipped to the run.
     for ev in plan.events() {
-        let end = match ev.kind {
-            FaultKind::CardDeath { .. } => total,
-            _ => (ev.at_s + ev.kind.duration_s()).min(total),
+        let end = if ev.kind.is_permanent() {
+            total
+        } else {
+            (ev.at_s + ev.kind.duration_s()).min(total)
         };
         if ev.at_s < total {
             trace.record(2, ev.at_s, end, Kind::Fault);
@@ -373,6 +426,8 @@ pub fn simulate_cluster_faulty(
         plan_fingerprint: plan.fingerprint(),
         events: plan.events().len(),
         cards_lost: deaths_applied,
+        hosts_lost: hosts_applied,
+        fallback_grid: (hosts_applied > 0).then_some((cur.grid.p, cur.grid.q)),
         checkpoint_s,
         recovery_s,
         degraded_stages,
@@ -398,7 +453,7 @@ pub fn simulate_cluster_faulty(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phi_fabric::ProcessGrid;
+    use phi_faults::FaultKind;
 
     fn cfg(n: usize, p: usize, q: usize, cards: usize) -> HybridConfig {
         HybridConfig::new(n, ProcessGrid::new(p, q), cards)
@@ -520,6 +575,72 @@ mod tests {
         assert!(f_ck.checkpoint_s > 0.0 && f_no.checkpoint_s == 0.0);
         // Restoring a checkpoint is cheaper than replaying the lost stage.
         assert!(f_ck.recovery_s < f_no.recovery_s);
+    }
+
+    #[test]
+    fn host_death_remaps_grid_and_completes() {
+        // Kill one of four hosts a third of the way through: the three
+        // survivors re-form a 1×3 grid and finish the factorization.
+        let c = cfg(168_000, 2, 2, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t_kill = healthy.report.time_s / 3.0;
+        let plan = FaultPlan::none().with_event(t_kill, FaultKind::HostDeath { rank: 3 });
+        let ft = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        let r = &ft.result.report;
+        let f = r.faults.unwrap();
+        assert_eq!(f.hosts_lost, 1);
+        assert_eq!(f.cards_lost, 0);
+        assert_eq!(f.fallback_grid, Some((1, 3)));
+        assert!(f.degraded_stages > 0);
+        assert!(f.recovery_s > 0.0);
+        assert!(
+            r.time_s > healthy.report.time_s,
+            "losing a quarter of the cluster must cost time"
+        );
+        assert!(r.efficiency() > 0.0 && r.efficiency() < healthy.report.efficiency());
+        let kinds: Vec<Kind> = ft.trace.spans().iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&Kind::Recovery));
+    }
+
+    #[test]
+    fn checkpointed_host_restore_is_cheaper_than_recompute() {
+        let c = cfg(168_000, 2, 2, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t_kill = healthy.report.time_s * 0.6;
+        let plan = FaultPlan::none().with_event(t_kill, FaultKind::HostDeath { rank: 1 });
+        let with_ck = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        let without = simulate_cluster_faulty(&c, &plan, &FtPolicy::none(), false);
+        let f_ck = with_ck.result.report.faults.unwrap();
+        let f_no = without.result.report.faults.unwrap();
+        // Streaming checkpointed state beats recomputing the dead rank's
+        // share of 60% of the run.
+        assert!(f_ck.recovery_s < f_no.recovery_s);
+    }
+
+    #[test]
+    fn cascade_storm_into_card_death_is_one_causal_run() {
+        let c = cfg(84_000, 1, 1, 1);
+        let healthy = simulate_cluster(&c, false);
+        let storm = FaultKind::PcieCrcStorm {
+            stall_s: 200e-6,
+            duration_s: healthy.report.time_s / 4.0,
+        };
+        let esc = phi_faults::Escalation {
+            kind: FaultKind::CardDeath { card: 0 },
+            delay_s: healthy.report.time_s / 8.0,
+            probability: 1.0,
+        };
+        let plan = FaultPlan::none()
+            .with_cascade(healthy.report.time_s / 3.0, storm, esc)
+            .resolved(1, healthy.report.time_s * 2.0);
+        assert_eq!(plan.total_card_deaths(), 1);
+        let ft = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        let f = ft.result.report.faults.unwrap();
+        assert_eq!(f.cards_lost, 1);
+        assert_eq!(f.events, 2, "storm plus its escalated death");
+        // Replays bit-identically under the same fingerprint.
+        let again = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        assert_eq!(ft.run_fingerprint(), again.run_fingerprint());
     }
 
     #[test]

@@ -146,6 +146,10 @@ pub fn single_card_max_n() -> usize {
 /// fabric) and graceful degradation on node death — the dead card's
 /// block-cyclic share is re-divided among the survivors, scaling the
 /// per-stage compute by `size / survivors` after a checkpoint restore.
+/// A node here *is* a card, so [`phi_faults::FaultKind::HostDeath`]
+/// and card death both cost a whole node; the re-division keeps the
+/// original grid shape (no fallback grid), which the summary reports
+/// as `fallback_grid: None`.
 ///
 /// With an empty plan and `checkpoint: false` this is bit-identical to
 /// [`simulate_native_cluster`]; the returned report carries a
@@ -174,6 +178,7 @@ pub fn simulate_native_cluster_ft(
 
     let mut total = 0.0f64;
     let mut nodes_lost = 0usize;
+    let mut hosts_seen = 0usize;
     let mut degraded_stages = 0usize;
     let mut checkpoint_s = 0.0f64;
     let mut recovery_s = 0.0f64;
@@ -185,7 +190,9 @@ pub fn simulate_native_cluster_ft(
 
         // Node deaths surface at panel boundaries; survivors re-divide
         // the dead node's share after restoring its mirrored panels.
-        let lost_now = plan.effects_at(total).cards_lost.min(size - 1);
+        let e_now = plan.effects_at(total);
+        let lost_now = (e_now.cards_lost + e_now.hosts_lost).min(size - 1);
+        hosts_seen = hosts_seen.max(e_now.hosts_lost.min(lost_now));
         if lost_now > nodes_lost {
             let newly = lost_now - nodes_lost;
             let restore = if checkpoint {
@@ -228,7 +235,9 @@ pub fn simulate_native_cluster_ft(
     GigaflopsReport::new(cfg.n, total, peak).with_faults(crate::report::FaultSummary {
         plan_fingerprint: plan.fingerprint(),
         events: plan.events().len(),
-        cards_lost: nodes_lost,
+        cards_lost: nodes_lost - hosts_seen,
+        hosts_lost: hosts_seen,
+        fallback_grid: None,
         checkpoint_s,
         recovery_s,
         degraded_stages,
@@ -351,6 +360,21 @@ mod tests {
         // Survivors carry 4/3 of the work for the tail: slower, but done.
         assert!(ft.time_s > base.time_s);
         assert!(f.overhead_fraction(ft.time_s) > 0.0);
+    }
+
+    #[test]
+    fn ft_host_death_costs_a_whole_node() {
+        use phi_faults::{FaultKind, FaultPlan};
+        let cfg = NativeClusterConfig::new(60_000, 2, 2);
+        let base = simulate_native_cluster(&cfg);
+        let plan =
+            FaultPlan::none().with_event(base.time_s / 2.0, FaultKind::HostDeath { rank: 2 });
+        let ft = simulate_native_cluster_ft(&cfg, &plan, true);
+        let f = ft.faults.unwrap();
+        assert_eq!((f.cards_lost, f.hosts_lost), (0, 1));
+        assert_eq!(f.fallback_grid, None);
+        assert!(f.degraded_stages > 0);
+        assert!(ft.time_s > base.time_s);
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct FaultSummary {
     pub events: usize,
     /// Coprocessors permanently lost during the run.
     pub cards_lost: usize,
+    /// Host ranks permanently lost during the run.
+    pub hosts_lost: usize,
+    /// Grid the survivors re-formed after the last host death, if any
+    /// rank died (`(p, q)` of the fallback grid).
+    pub fallback_grid: Option<(usize, usize)>,
     /// Total panel-checkpoint time paid, seconds.
     pub checkpoint_s: f64,
     /// Total recovery time (restore + §V re-division), seconds.
@@ -129,6 +134,8 @@ mod tests {
             plan_fingerprint: 0xABCD,
             events: 3,
             cards_lost: 1,
+            hosts_lost: 0,
+            fallback_grid: None,
             checkpoint_s: 0.5,
             recovery_s: 1.0,
             degraded_stages: 7,

@@ -94,6 +94,39 @@ impl ProcessGrid {
     pub fn row_ring(&self, root_q: usize) -> Vec<usize> {
         (1..self.q).map(|i| (root_q + i) % self.q).collect()
     }
+
+    /// Best grid the `survivors` ranks left after a host death can
+    /// re-form. Survivor counts rarely factor into anything rectangular
+    /// (99 does, 97 is prime), so up to 1/8 of the survivors may be
+    /// idled to reach a better shape: every process count `m` in
+    /// `(survivors − survivors/8) ..= survivors` is scored with its
+    /// squarest factorization `p × q = m` (`p ≤ q`) as
+    /// `m · sqrt(p / q)` — work capacity discounted by aspect-ratio
+    /// imbalance, the same trade HPL's own grid advice makes — and the
+    /// best score wins (larger `m` on ties). 99 survivors stay 9 × 11;
+    /// a prime 97 idles seven ranks to re-form a near-square 9 × 10.
+    pub fn fallback_grid(survivors: usize) -> Self {
+        assert!(survivors > 0, "no survivors to re-form a grid from");
+        let floor = survivors - survivors / 8;
+        let mut best = (Self::new(1, 1), f64::NEG_INFINITY);
+        for m in (floor..=survivors).rev() {
+            let g = squarest(m);
+            let score = m as f64 * (g.p as f64 / g.q as f64).sqrt();
+            if score > best.1 {
+                best = (g, score);
+            }
+        }
+        best.0
+    }
+}
+
+/// Squarest `p × q = m` factorization with `p ≤ q`.
+fn squarest(m: usize) -> ProcessGrid {
+    let mut p = (m as f64).sqrt() as usize;
+    while p > 1 && !m.is_multiple_of(p) {
+        p -= 1;
+    }
+    ProcessGrid::new(p.max(1), m / p.max(1))
 }
 
 /// Count of `i` in `first..nblocks` with `i % p == r`.
@@ -179,5 +212,37 @@ mod tests {
     #[should_panic(expected = "degenerate grid")]
     fn zero_dimension_rejected() {
         ProcessGrid::new(0, 3);
+    }
+
+    #[test]
+    fn fallback_grid_prefers_balanced_shapes() {
+        // One death in the Table III 10×10 run: 99 survivors stay 9×11.
+        assert_eq!(ProcessGrid::fallback_grid(99), ProcessGrid::new(9, 11));
+        // Prime survivor count idles ranks for a square-ish shape.
+        assert_eq!(ProcessGrid::fallback_grid(97), ProcessGrid::new(9, 10));
+        // Perfect squares stay perfect.
+        assert_eq!(ProcessGrid::fallback_grid(100), ProcessGrid::new(10, 10));
+        assert_eq!(ProcessGrid::fallback_grid(1), ProcessGrid::new(1, 1));
+        assert_eq!(ProcessGrid::fallback_grid(3), ProcessGrid::new(1, 3));
+    }
+
+    #[test]
+    fn fallback_grid_never_exceeds_survivors_or_idles_too_many() {
+        for survivors in 1..=256usize {
+            let g = ProcessGrid::fallback_grid(survivors);
+            assert!(g.size() <= survivors, "survivors={survivors}");
+            assert!(
+                g.size() >= survivors - survivors / 8,
+                "survivors={survivors} kept only {}",
+                g.size()
+            );
+            assert!(g.p <= g.q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no survivors")]
+    fn fallback_grid_rejects_zero() {
+        ProcessGrid::fallback_grid(0);
     }
 }

@@ -10,14 +10,26 @@
 //!
 //! A [`FaultPlan`] is an explicit, time-ordered list of [`FaultEvent`]s.
 //! Plans are built either by hand (one event at a chosen simulated
-//! time) or by [`FaultPlan::campaign`], which draws events from a
-//! seeded [`FaultRng`] — the same 64-bit LCG family the matrix
-//! generator uses, so determinism needs no external crate. Consumers
-//! never sample randomness at query time: every parameter is fixed at
-//! plan construction, and [`FaultPlan::effects_at`] /
-//! [`FaultPlan::effects_over`] are pure functions of simulated time.
+//! time) or by [`FaultPlan::campaign`] / [`FaultPlan::cluster_campaign`],
+//! which draw events from a seeded [`FaultRng`] — the same 64-bit LCG
+//! family the matrix generator uses, so determinism needs no external
+//! crate. Consumers never sample randomness at query time: every
+//! parameter is fixed at plan construction, and [`FaultPlan::effects_at`]
+//! / [`FaultPlan::effects_over`] are pure functions of simulated time.
 //! [`FaultPlan::fingerprint`] hashes the full event list so tests can
 //! assert two runs saw exactly the same faults.
+//!
+//! **Correlated cascades.** A [`FaultEvent`] may carry an
+//! [`Escalation`] edge (`escalates_to`): a transient fault that, with
+//! some probability, worsens into a second fault after a delay — a PCIe
+//! CRC storm retraining itself into a dead card, a flapping rail
+//! escalating into a lost host rank. Edges are *resolved* once, by
+//! [`FaultPlan::resolved`], with a seeded draw per edge: a firing edge
+//! appends the escalated event to the plan as a concrete, causally
+//! linked occurrence. The fingerprint covers both the edge and the
+//! spawned event, so a cascade replays as one causal unit under one
+//! fingerprint, and resolution never schedules anything at or past the
+//! horizon.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +37,75 @@
 const MULT: u64 = 6364136223846793005;
 /// The LCG increment shared with `phi_matrix::HplRng`.
 const ADD: u64 = 1442695040888963407;
+
+/// FNV-1a offset basis (shared by fingerprints and event hashes).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Salt XORed into a campaign seed before escalation resolution, so the
+/// per-edge resolution draws never alias the event-parameter draws.
+const ESCALATION_SALT: u64 = 0xe5ca_1a7e_0ca5_cade;
+
+/// FNV-1a over the little-endian bytes of `x`, folded into `h`.
+fn fnv_mix(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Folds a kind's tag and exact parameter bit patterns into `h`.
+fn mix_kind(h: &mut u64, kind: &FaultKind) {
+    fnv_mix(h, kind.tag());
+    match *kind {
+        FaultKind::LinkDegrade { factor, duration_s } => {
+            fnv_mix(h, factor.to_bits());
+            fnv_mix(h, duration_s.to_bits());
+        }
+        FaultKind::LatencyJitter {
+            sigma_s,
+            duration_s,
+        } => {
+            fnv_mix(h, sigma_s.to_bits());
+            fnv_mix(h, duration_s.to_bits());
+        }
+        FaultKind::PcieCrcStorm {
+            stall_s,
+            duration_s,
+        } => {
+            fnv_mix(h, stall_s.to_bits());
+            fnv_mix(h, duration_s.to_bits());
+        }
+        FaultKind::Straggler {
+            core_fraction,
+            slowdown,
+            duration_s,
+        } => {
+            fnv_mix(h, core_fraction.to_bits());
+            fnv_mix(h, slowdown.to_bits());
+            fnv_mix(h, duration_s.to_bits());
+        }
+        FaultKind::CardDeath { card } => fnv_mix(h, card as u64),
+        FaultKind::HostDeath { rank } => fnv_mix(h, rank as u64),
+    }
+}
+
+/// A content hash of one event (onset + kind + escalation edge), used
+/// to key the per-edge resolution draw: identical events draw
+/// identically no matter where they sit in the plan.
+fn event_hash(ev: &FaultEvent) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_mix(&mut h, ev.at_s.to_bits());
+    mix_kind(&mut h, &ev.kind);
+    if let Some(esc) = ev.escalates_to {
+        fnv_mix(&mut h, 0xe5c);
+        mix_kind(&mut h, &esc.kind);
+        fnv_mix(&mut h, esc.delay_s.to_bits());
+        fnv_mix(&mut h, esc.probability.to_bits());
+    }
+    h
+}
 
 /// Seeded 64-bit LCG — the workspace's standard deterministic stream.
 ///
@@ -83,18 +164,34 @@ pub enum FaultKind {
     },
     /// A coprocessor dies at the event time and never comes back.
     CardDeath { card: usize },
+    /// A host rank dies at the event time and never comes back: the
+    /// surviving ranks must re-form the process grid, restore the dead
+    /// rank's checkpointed panel state over the fabric and remap
+    /// block-cyclic ownership before the factorization can continue.
+    HostDeath {
+        /// Linear rank (row-major in the P × Q grid) that is lost.
+        rank: usize,
+    },
 }
 
 impl FaultKind {
-    /// Window length; card death is permanent.
+    /// Window length; card and host deaths are permanent.
     pub fn duration_s(&self) -> f64 {
         match *self {
             FaultKind::LinkDegrade { duration_s, .. }
             | FaultKind::LatencyJitter { duration_s, .. }
             | FaultKind::PcieCrcStorm { duration_s, .. }
             | FaultKind::Straggler { duration_s, .. } => duration_s,
-            FaultKind::CardDeath { .. } => f64::INFINITY,
+            FaultKind::CardDeath { .. } | FaultKind::HostDeath { .. } => f64::INFINITY,
         }
+    }
+
+    /// True for the permanent kinds (card or host death).
+    pub fn is_permanent(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::CardDeath { .. } | FaultKind::HostDeath { .. }
+        )
     }
 
     fn tag(&self) -> u64 {
@@ -104,8 +201,24 @@ impl FaultKind {
             FaultKind::PcieCrcStorm { .. } => 3,
             FaultKind::Straggler { .. } => 4,
             FaultKind::CardDeath { .. } => 5,
+            FaultKind::HostDeath { .. } => 6,
         }
     }
+}
+
+/// A correlated-failure edge: the owning event escalates into `kind`
+/// after `delay_s`, with probability `probability`, when the plan is
+/// [`FaultPlan::resolved`]. All fields are concrete; the only
+/// randomness is the single seeded draw at resolution time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Escalation {
+    /// The fault the owning event escalates into.
+    pub kind: FaultKind,
+    /// Delay from the owning event's onset to the escalated onset,
+    /// seconds of simulated time (≥ 0).
+    pub delay_s: f64,
+    /// Probability in `[0, 1]` that the edge fires at resolution.
+    pub probability: f64,
 }
 
 /// A fault scheduled at an absolute simulated time.
@@ -115,9 +228,20 @@ pub struct FaultEvent {
     pub at_s: f64,
     /// What happens.
     pub kind: FaultKind,
+    /// Optional correlated-cascade edge, resolved by
+    /// [`FaultPlan::resolved`]. `None` for a plain, uncorrelated fault.
+    pub escalates_to: Option<Escalation>,
 }
 
 impl FaultEvent {
+    /// A plain event with no escalation edge.
+    pub fn new(at_s: f64, kind: FaultKind) -> Self {
+        Self {
+            at_s,
+            kind,
+            escalates_to: None,
+        }
+    }
     /// Does the window cover simulated time `t`?
     pub fn active_at(&self, t: f64) -> bool {
         t >= self.at_s && t < self.at_s + self.kind.duration_s()
@@ -151,6 +275,8 @@ pub struct Effects {
     pub compute_slowdown: f64,
     /// Cards dead so far (cumulative, permanent).
     pub cards_lost: usize,
+    /// Host ranks dead so far (cumulative, permanent).
+    pub hosts_lost: usize,
 }
 
 impl Effects {
@@ -162,6 +288,7 @@ impl Effects {
             pcie_stall_s: 0.0,
             compute_slowdown: 1.0,
             cards_lost: 0,
+            hosts_lost: 0,
         }
     }
 
@@ -191,7 +318,9 @@ impl FaultPlan {
 
     /// A seeded random campaign: `count` events drawn over
     /// `[0, horizon_s)`. Identical `(seed, horizon_s, count)` triples
-    /// produce identical plans, bit for bit.
+    /// produce identical plans, bit for bit. Single-node flavour: no
+    /// host deaths and no escalation edges (see
+    /// [`FaultPlan::cluster_campaign`] for those).
     pub fn campaign(seed: u64, horizon_s: f64, count: usize) -> Self {
         assert!(horizon_s > 0.0);
         let mut rng = FaultRng::new(seed);
@@ -221,16 +350,163 @@ impl FaultPlan {
                     card: rng.index(0, 2),
                 },
             };
-            events.push(FaultEvent { at_s, kind });
+            events.push(FaultEvent::new(at_s, kind));
         }
         Self::from_events(events)
     }
 
+    /// A seeded random campaign for a `nodes`-rank cluster with
+    /// `cards_per_node` coprocessors per host: the single-node kinds
+    /// plus host-rank deaths and correlated cascades (a CRC storm that
+    /// may escalate into a card death, a degraded rail that may
+    /// escalate into a host death). Escalation edges are resolved
+    /// before the plan is returned, so every event in the result is
+    /// concrete and strictly inside the horizon. Identical argument
+    /// tuples produce identical plans, bit for bit.
+    pub fn cluster_campaign(
+        seed: u64,
+        horizon_s: f64,
+        count: usize,
+        nodes: usize,
+        cards_per_node: usize,
+    ) -> Self {
+        assert!(horizon_s > 0.0, "degenerate horizon");
+        assert!(nodes > 0, "a cluster has at least one rank");
+        let mut rng = FaultRng::new(seed);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let at_s = rng.range(0.0, horizon_s);
+            let window = rng.range(0.02, 0.25) * horizon_s;
+            let (kind, escalates_to) = match rng.index(0, 8) {
+                0 => (
+                    FaultKind::LinkDegrade {
+                        factor: rng.range(0.25, 0.9),
+                        duration_s: window,
+                    },
+                    None,
+                ),
+                1 => (
+                    FaultKind::LatencyJitter {
+                        sigma_s: rng.range(1e-6, 40e-6),
+                        duration_s: window,
+                    },
+                    None,
+                ),
+                2 => (
+                    FaultKind::PcieCrcStorm {
+                        stall_s: rng.range(5e-6, 200e-6),
+                        duration_s: window,
+                    },
+                    None,
+                ),
+                3 => (
+                    FaultKind::Straggler {
+                        core_fraction: rng.range(0.05, 0.5),
+                        slowdown: rng.range(1.2, 3.0),
+                        duration_s: window,
+                    },
+                    None,
+                ),
+                4 => (
+                    FaultKind::CardDeath {
+                        card: rng.index(0, cards_per_node.max(1)),
+                    },
+                    None,
+                ),
+                5 => (
+                    FaultKind::HostDeath {
+                        rank: rng.index(0, nodes),
+                    },
+                    None,
+                ),
+                6 => (
+                    // A CRC storm that may burn out the card it storms on.
+                    FaultKind::PcieCrcStorm {
+                        stall_s: rng.range(50e-6, 400e-6),
+                        duration_s: window,
+                    },
+                    Some(Escalation {
+                        kind: FaultKind::CardDeath {
+                            card: rng.index(0, cards_per_node.max(1)),
+                        },
+                        delay_s: rng.range(0.0, 0.1) * horizon_s,
+                        probability: rng.range(0.25, 1.0),
+                    }),
+                ),
+                _ => (
+                    // A flapping rail that may take its host down with it.
+                    FaultKind::LinkDegrade {
+                        factor: rng.range(0.1, 0.5),
+                        duration_s: window,
+                    },
+                    Some(Escalation {
+                        kind: FaultKind::HostDeath {
+                            rank: rng.index(0, nodes),
+                        },
+                        delay_s: rng.range(0.0, 0.1) * horizon_s,
+                        probability: rng.range(0.25, 1.0),
+                    }),
+                ),
+            };
+            events.push(FaultEvent {
+                at_s,
+                kind,
+                escalates_to,
+            });
+        }
+        Self::from_events(events).resolved(seed ^ ESCALATION_SALT, horizon_s)
+    }
+
     /// Adds one event (builder style), keeping onset order.
-    pub fn with_event(mut self, at_s: f64, kind: FaultKind) -> Self {
-        self.events.push(FaultEvent { at_s, kind });
+    pub fn with_event(self, at_s: f64, kind: FaultKind) -> Self {
+        self.with_fault_event(FaultEvent::new(at_s, kind))
+    }
+
+    /// Adds one event carrying a correlated-cascade edge (builder
+    /// style). The edge stays latent until [`FaultPlan::resolved`] is
+    /// called.
+    pub fn with_cascade(self, at_s: f64, kind: FaultKind, escalation: Escalation) -> Self {
+        self.with_fault_event(FaultEvent {
+            at_s,
+            kind,
+            escalates_to: Some(escalation),
+        })
+    }
+
+    /// Adds a fully-specified event (builder style), keeping onset order.
+    pub fn with_fault_event(mut self, ev: FaultEvent) -> Self {
+        self.events.push(ev);
         self.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
         self
+    }
+
+    /// Resolves every escalation edge with one seeded draw each: a
+    /// firing edge appends its escalated fault as a concrete event at
+    /// `parent.at_s + delay_s`, provided that onset lies strictly
+    /// before `horizon_s` — cascades never schedule anything at or past
+    /// the horizon. The draw is keyed on `seed` and the parent event's
+    /// own hash, so resolution is independent of event order and
+    /// idempotent: resolving an already-resolved plan with the same
+    /// seed changes nothing.
+    pub fn resolved(&self, seed: u64, horizon_s: f64) -> Self {
+        assert!(horizon_s > 0.0, "degenerate horizon");
+        let mut out = self.events.clone();
+        for ev in &self.events {
+            let Some(esc) = ev.escalates_to else { continue };
+            let mut rng = FaultRng::new(seed ^ event_hash(ev));
+            if rng.unit() >= esc.probability {
+                continue;
+            }
+            let at_s = ev.at_s + esc.delay_s;
+            if at_s >= horizon_s {
+                continue;
+            }
+            let spawned = FaultEvent::new(at_s, esc.kind);
+            if !out.contains(&spawned) {
+                out.push(spawned);
+            }
+        }
+        Self::from_events(out)
     }
 
     /// The schedule, onset-ordered.
@@ -245,13 +521,15 @@ impl FaultPlan {
 
     /// Instantaneous aggregate effects at simulated time `t`.
     /// Overlapping faults compose: bandwidth factors multiply, latency
-    /// and stalls add, slowdowns multiply, card deaths accumulate.
+    /// and stalls add, slowdowns multiply, card and host deaths
+    /// accumulate.
     pub fn effects_at(&self, t: f64) -> Effects {
         let mut e = Effects::healthy();
         for ev in &self.events {
             match ev.kind {
                 FaultKind::CardDeath { .. } if t >= ev.at_s => e.cards_lost += 1,
-                FaultKind::CardDeath { .. } => {}
+                FaultKind::HostDeath { .. } if t >= ev.at_s => e.hosts_lost += 1,
+                FaultKind::CardDeath { .. } | FaultKind::HostDeath { .. } => {}
                 _ if ev.active_at(t) => match ev.kind {
                     FaultKind::LinkDegrade { factor, .. } => e.net_bw_factor *= factor,
                     FaultKind::LatencyJitter { sigma_s, .. } => e.extra_latency_s += sigma_s,
@@ -265,7 +543,7 @@ impl FaultPlan {
                         // aggregate throughput to 1/(1-f+f*k)... inverted:
                         e.compute_slowdown *= 1.0 - core_fraction + core_fraction * slowdown;
                     }
-                    FaultKind::CardDeath { .. } => unreachable!(),
+                    FaultKind::CardDeath { .. } | FaultKind::HostDeath { .. } => unreachable!(),
                 },
                 _ => {}
             }
@@ -273,46 +551,74 @@ impl FaultPlan {
         e
     }
 
-    /// Aggregate effects averaged over `[t0, t1)` — transient windows
-    /// are weighted by their overlap with the interval, which is the
-    /// right granularity for the per-stage cluster loop.
+    /// Aggregate effects averaged over `[t0, t1)` — the right
+    /// granularity for the per-stage cluster loop.
+    ///
+    /// [`Self::effects_at`] is piecewise constant with breakpoints at
+    /// window boundaries, so the window fields here are the *exact*
+    /// time-average `∫ effects_at dt / (t1 − t0)` (up to float
+    /// rounding): the interval is cut at every boundary and each
+    /// sub-interval contributes its instantaneous composition, weighted
+    /// by length. The permanent counters (`cards_lost`, `hosts_lost`)
+    /// are instead the totals by the *end* of the window — a death
+    /// anywhere in `[t0, t1)` has happened from the next panel
+    /// boundary's point of view. A window no transient fault overlaps
+    /// returns bit-exactly healthy window fields.
     pub fn effects_over(&self, t0: f64, t1: f64) -> Effects {
         let mut e = Effects::healthy();
         for ev in &self.events {
             match ev.kind {
-                FaultKind::CardDeath { .. } => {
-                    if ev.at_s < t1 {
-                        e.cards_lost += 1;
-                    }
-                }
-                _ => {
-                    let w = ev.overlap_fraction(t0, t1);
-                    if w <= 0.0 {
-                        continue;
-                    }
-                    match ev.kind {
-                        FaultKind::LinkDegrade { factor, .. } => {
-                            e.net_bw_factor *= 1.0 - w + w * factor;
-                        }
-                        FaultKind::LatencyJitter { sigma_s, .. } => {
-                            e.extra_latency_s += w * sigma_s;
-                        }
-                        FaultKind::PcieCrcStorm { stall_s, .. } => {
-                            e.pcie_stall_s += w * stall_s;
-                        }
-                        FaultKind::Straggler {
-                            core_fraction,
-                            slowdown,
-                            ..
-                        } => {
-                            let full = 1.0 - core_fraction + core_fraction * slowdown;
-                            e.compute_slowdown *= 1.0 - w + w * full;
-                        }
-                        FaultKind::CardDeath { .. } => unreachable!(),
-                    }
+                FaultKind::CardDeath { .. } if ev.at_s < t1 => e.cards_lost += 1,
+                FaultKind::HostDeath { .. } if ev.at_s < t1 => e.hosts_lost += 1,
+                _ => {}
+            }
+        }
+        if t1 <= t0 {
+            return e;
+        }
+        // Breakpoints of the piecewise-constant transient fields that
+        // fall strictly inside the window. None ⇒ every transient field
+        // is constant over the window; sample once so the no-overlap
+        // case stays bit-exactly healthy.
+        let mut cuts: Vec<f64> = Vec::new();
+        let mut touched = false;
+        for ev in &self.events {
+            if ev.kind.is_permanent() {
+                continue;
+            }
+            touched |= ev.overlap_fraction(t0, t1) > 0.0;
+            let end = ev.at_s + ev.kind.duration_s();
+            for b in [ev.at_s, end] {
+                if b > t0 && b < t1 {
+                    cuts.push(b);
                 }
             }
         }
+        if !touched {
+            return e;
+        }
+        cuts.push(t0);
+        cuts.push(t1);
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        // Accumulate each field as healthy + Σ weighted deviation, so
+        // sub-intervals where a field is untouched contribute exactly
+        // nothing to it.
+        let span = t1 - t0;
+        let (mut bw, mut lat, mut stall, mut slow) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for pair in cuts.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            let s = self.effects_at(lo + 0.5 * (hi - lo));
+            let w = (hi - lo) / span;
+            bw += w * (s.net_bw_factor - 1.0);
+            lat += w * s.extra_latency_s;
+            stall += w * s.pcie_stall_s;
+            slow += w * (s.compute_slowdown - 1.0);
+        }
+        e.net_bw_factor = 1.0 + bw;
+        e.extra_latency_s = lat;
+        e.pcie_stall_s = stall;
+        e.compute_slowdown = 1.0 + slow;
         e
     }
 
@@ -333,48 +639,40 @@ impl FaultPlan {
             .count()
     }
 
-    /// FNV-1a over the exact bit patterns of every event — two plans
-    /// fingerprint equal iff they schedule identical faults.
+    /// Onset of the first host-rank death, if any host ever dies.
+    pub fn first_host_death(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::HostDeath { .. }))
+            .map(|e| e.at_s)
+            .next()
+    }
+
+    /// Total host ranks that ever die under this plan.
+    pub fn total_host_deaths(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::HostDeath { .. }))
+            .count()
+    }
+
+    /// FNV-1a over the exact bit patterns of every event, including any
+    /// escalation edge — two plans fingerprint equal iff they schedule
+    /// identical faults with identical cascade structure. A resolved
+    /// cascade (edge + spawned event) therefore carries one fingerprint
+    /// distinct from the same faults arriving uncorrelated.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xcbf29ce484222325u64;
-        let mut mix = |x: u64| {
-            for b in x.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
+        let mut h = FNV_OFFSET;
         for ev in &self.events {
-            mix(ev.at_s.to_bits());
-            mix(ev.kind.tag());
-            match ev.kind {
-                FaultKind::LinkDegrade { factor, duration_s } => {
-                    mix(factor.to_bits());
-                    mix(duration_s.to_bits());
-                }
-                FaultKind::LatencyJitter {
-                    sigma_s,
-                    duration_s,
-                } => {
-                    mix(sigma_s.to_bits());
-                    mix(duration_s.to_bits());
-                }
-                FaultKind::PcieCrcStorm {
-                    stall_s,
-                    duration_s,
-                } => {
-                    mix(stall_s.to_bits());
-                    mix(duration_s.to_bits());
-                }
-                FaultKind::Straggler {
-                    core_fraction,
-                    slowdown,
-                    duration_s,
-                } => {
-                    mix(core_fraction.to_bits());
-                    mix(slowdown.to_bits());
-                    mix(duration_s.to_bits());
-                }
-                FaultKind::CardDeath { card } => mix(card as u64),
+            fnv_mix(&mut h, ev.at_s.to_bits());
+            mix_kind(&mut h, &ev.kind);
+            if let Some(esc) = ev.escalates_to {
+                // Marker byte keeps edge-free plans on their historical
+                // digests while separating `Some` from a following event.
+                fnv_mix(&mut h, 0xe5c);
+                mix_kind(&mut h, &esc.kind);
+                fnv_mix(&mut h, esc.delay_s.to_bits());
+                fnv_mix(&mut h, esc.probability.to_bits());
             }
         }
         h
@@ -470,19 +768,182 @@ mod tests {
     #[test]
     fn events_are_onset_sorted() {
         let p = FaultPlan::from_events(vec![
-            FaultEvent {
-                at_s: 9.0,
-                kind: FaultKind::CardDeath { card: 0 },
-            },
-            FaultEvent {
-                at_s: 1.0,
-                kind: FaultKind::LatencyJitter {
+            FaultEvent::new(9.0, FaultKind::CardDeath { card: 0 }),
+            FaultEvent::new(
+                1.0,
+                FaultKind::LatencyJitter {
                     sigma_s: 1e-6,
                     duration_s: 2.0,
                 },
-            },
+            ),
         ]);
         assert!(p.events()[0].at_s < p.events()[1].at_s);
+    }
+
+    #[test]
+    fn host_death_is_permanent_and_cumulative() {
+        let p = FaultPlan::none()
+            .with_event(3.0, FaultKind::HostDeath { rank: 7 })
+            .with_event(11.0, FaultKind::HostDeath { rank: 2 });
+        assert_eq!(p.effects_at(2.9).hosts_lost, 0);
+        assert_eq!(p.effects_at(3.0).hosts_lost, 1);
+        assert_eq!(p.effects_at(1e9).hosts_lost, 2);
+        assert_eq!(p.effects_over(0.0, 4.0).hosts_lost, 1);
+        assert_eq!(p.first_host_death(), Some(3.0));
+        assert_eq!(p.total_host_deaths(), 2);
+        // Host deaths don't count as card deaths (and vice versa).
+        assert_eq!(p.total_card_deaths(), 0);
+        assert_eq!(p.effects_at(1e9).cards_lost, 0);
+    }
+
+    #[test]
+    fn cluster_campaign_is_deterministic_and_inside_horizon() {
+        let a = FaultPlan::cluster_campaign(42, 3600.0, 24, 100, 1);
+        let b = FaultPlan::cluster_campaign(42, 3600.0, 24, 100, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            FaultPlan::cluster_campaign(43, 3600.0, 24, 100, 1).fingerprint()
+        );
+        // Resolution may append events, never schedule past the horizon.
+        assert!(a.events().len() >= 24);
+        for ev in a.events() {
+            assert!(ev.at_s < 3600.0);
+            if let FaultKind::HostDeath { rank } = ev.kind {
+                assert!(rank < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn escalation_fires_iff_draw_beats_probability() {
+        let storm = FaultKind::PcieCrcStorm {
+            stall_s: 1e-4,
+            duration_s: 5.0,
+        };
+        let certain = FaultPlan::none()
+            .with_cascade(
+                10.0,
+                storm,
+                Escalation {
+                    kind: FaultKind::CardDeath { card: 0 },
+                    delay_s: 2.0,
+                    probability: 1.0,
+                },
+            )
+            .resolved(99, 100.0);
+        assert_eq!(certain.total_card_deaths(), 1);
+        assert_eq!(certain.first_card_death(), Some(12.0));
+
+        let never = FaultPlan::none()
+            .with_cascade(
+                10.0,
+                storm,
+                Escalation {
+                    kind: FaultKind::CardDeath { card: 0 },
+                    delay_s: 2.0,
+                    probability: 0.0,
+                },
+            )
+            .resolved(99, 100.0);
+        assert_eq!(never.total_card_deaths(), 0);
+    }
+
+    #[test]
+    fn escalation_never_schedules_at_or_past_horizon() {
+        let p = FaultPlan::none()
+            .with_cascade(
+                90.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.2,
+                    duration_s: 5.0,
+                },
+                Escalation {
+                    kind: FaultKind::HostDeath { rank: 0 },
+                    delay_s: 10.0, // lands exactly at the horizon
+                    probability: 1.0,
+                },
+            )
+            .resolved(7, 100.0);
+        assert_eq!(p.total_host_deaths(), 0);
+    }
+
+    #[test]
+    fn resolution_is_idempotent_and_order_independent() {
+        let a = FaultEvent {
+            at_s: 5.0,
+            kind: FaultKind::PcieCrcStorm {
+                stall_s: 2e-4,
+                duration_s: 4.0,
+            },
+            escalates_to: Some(Escalation {
+                kind: FaultKind::CardDeath { card: 1 },
+                delay_s: 1.0,
+                probability: 0.9,
+            }),
+        };
+        let b = FaultEvent {
+            at_s: 20.0,
+            kind: FaultKind::LinkDegrade {
+                factor: 0.3,
+                duration_s: 6.0,
+            },
+            escalates_to: Some(Escalation {
+                kind: FaultKind::HostDeath { rank: 3 },
+                delay_s: 2.0,
+                probability: 0.9,
+            }),
+        };
+        let fwd = FaultPlan::from_events(vec![a, b]).resolved(11, 100.0);
+        let rev = FaultPlan::from_events(vec![b, a]).resolved(11, 100.0);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+        // Resolving again with the same seed is a no-op.
+        assert_eq!(fwd.resolved(11, 100.0), fwd);
+    }
+
+    #[test]
+    fn cascade_changes_fingerprint_even_when_dormant() {
+        let storm = FaultKind::PcieCrcStorm {
+            stall_s: 1e-4,
+            duration_s: 5.0,
+        };
+        let plain = FaultPlan::none().with_event(10.0, storm);
+        let edged = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation {
+                kind: FaultKind::CardDeath { card: 0 },
+                delay_s: 2.0,
+                probability: 0.5,
+            },
+        );
+        assert_ne!(plain.fingerprint(), edged.fingerprint());
+    }
+
+    #[test]
+    fn effects_over_matches_integral_of_effects_at() {
+        // Overlapping windows: the old multiply-the-averages composition
+        // got this wrong; the piecewise-exact version must not.
+        let p = FaultPlan::none()
+            .with_event(
+                0.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.5,
+                    duration_s: 10.0,
+                },
+            )
+            .with_event(
+                5.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.5,
+                    duration_s: 10.0,
+                },
+            );
+        // [0,15): 5 s at 0.5, 5 s at 0.25, 5 s at 0.5 → mean 5/12.
+        let e = p.effects_over(0.0, 15.0);
+        assert!((e.net_bw_factor - 5.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Seeded property tests for the fault layer. No property-testing
+//! crate: the generator is the workspace's own [`FaultRng`], so every
+//! "random" case replays bit-identically from the seeds below.
+
+use phi_faults::{Escalation, FaultEvent, FaultKind, FaultPlan, FaultRng};
+
+/// Draws one random event (possibly carrying an escalation edge).
+fn random_event(rng: &mut FaultRng, horizon: f64) -> FaultEvent {
+    let at_s = rng.range(0.0, horizon);
+    let window = rng.range(0.01, 0.3) * horizon;
+    let kind = match rng.index(0, 6) {
+        0 => FaultKind::LinkDegrade {
+            factor: rng.range(0.1, 0.95),
+            duration_s: window,
+        },
+        1 => FaultKind::LatencyJitter {
+            sigma_s: rng.range(1e-6, 50e-6),
+            duration_s: window,
+        },
+        2 => FaultKind::PcieCrcStorm {
+            stall_s: rng.range(1e-6, 5e-4),
+            duration_s: window,
+        },
+        3 => FaultKind::Straggler {
+            core_fraction: rng.range(0.05, 0.6),
+            slowdown: rng.range(1.1, 4.0),
+            duration_s: window,
+        },
+        4 => FaultKind::CardDeath {
+            card: rng.index(0, 4),
+        },
+        _ => FaultKind::HostDeath {
+            rank: rng.index(0, 100),
+        },
+    };
+    let mut ev = FaultEvent::new(at_s, kind);
+    if rng.unit() < 0.4 {
+        ev.escalates_to = Some(Escalation {
+            kind: if rng.unit() < 0.5 {
+                FaultKind::CardDeath {
+                    card: rng.index(0, 4),
+                }
+            } else {
+                FaultKind::HostDeath {
+                    rank: rng.index(0, 100),
+                }
+            },
+            delay_s: rng.range(0.0, 0.5) * horizon,
+            probability: rng.unit(),
+        });
+    }
+    ev
+}
+
+/// Fisher–Yates driven by the same deterministic stream.
+fn shuffle<T>(items: &mut [T], rng: &mut FaultRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.index(0, i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn fingerprint_is_stable_across_insertion_order() {
+    for seed in [1u64, 7, 0xABC, 0xFA0175] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(10.0, 1000.0);
+        let events: Vec<FaultEvent> = (0..12).map(|_| random_event(&mut rng, horizon)).collect();
+
+        let reference = FaultPlan::from_events(events.clone()).fingerprint();
+        for _ in 0..8 {
+            let mut perm = events.clone();
+            shuffle(&mut perm, &mut rng);
+            // Batch construction and one-at-a-time insertion must both
+            // land on the reference fingerprint.
+            assert_eq!(
+                FaultPlan::from_events(perm.clone()).fingerprint(),
+                reference
+            );
+            let built = perm
+                .into_iter()
+                .fold(FaultPlan::none(), |p, ev| p.with_fault_event(ev));
+            assert_eq!(built.fingerprint(), reference);
+        }
+    }
+}
+
+/// Reference time-average of the transient fields: cut the window at
+/// every (finite) event boundary and sum `effects_at` at sub-interval
+/// midpoints, weighted by length — direct accumulation, deliberately a
+/// different algorithm from the library's delta-from-healthy one.
+fn reference_avg(plan: &FaultPlan, t0: f64, t1: f64) -> (f64, f64, f64, f64) {
+    let mut cuts = vec![t0, t1];
+    for ev in plan.events() {
+        let end = ev.at_s + ev.kind.duration_s();
+        for b in [ev.at_s, end] {
+            if b > t0 && b < t1 && b.is_finite() {
+                cuts.push(b);
+            }
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| a.to_bits() == b.to_bits());
+    let span = t1 - t0;
+    let (mut bw, mut lat, mut stall, mut slow) = (0.0, 0.0, 0.0, 0.0);
+    for w in cuts.windows(2) {
+        let e = plan.effects_at(0.5 * (w[0] + w[1]));
+        let f = (w[1] - w[0]) / span;
+        bw += f * e.net_bw_factor;
+        lat += f * e.extra_latency_s;
+        stall += f * e.pcie_stall_s;
+        slow += f * e.compute_slowdown;
+    }
+    (bw, lat, stall, slow)
+}
+
+#[test]
+fn effects_over_equals_integral_of_effects_at() {
+    for seed in [2u64, 3, 5, 0xBEEF, 0xCAFE] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(10.0, 1000.0);
+        let events: Vec<FaultEvent> = (0..10).map(|_| random_event(&mut rng, horizon)).collect();
+        let plan = FaultPlan::from_events(events).resolved(seed, horizon);
+
+        for _ in 0..50 {
+            let a = rng.range(0.0, 1.5 * horizon);
+            let b = rng.range(0.0, 1.5 * horizon);
+            let (t0, t1) = if a < b { (a, b) } else { (b, a) };
+            if t1 - t0 < 1e-9 {
+                continue;
+            }
+            let e = plan.effects_over(t0, t1);
+            let (bw, lat, stall, slow) = reference_avg(&plan, t0, t1);
+            assert!(
+                (e.net_bw_factor - bw).abs() <= 1e-12 * bw.abs().max(1.0),
+                "seed {seed}: bw {} vs integral {bw} on [{t0}, {t1})",
+                e.net_bw_factor
+            );
+            assert!((e.extra_latency_s - lat).abs() <= 1e-12 * lat.abs().max(1.0));
+            assert!((e.pcie_stall_s - stall).abs() <= 1e-12 * stall.abs().max(1.0));
+            assert!((e.compute_slowdown - slow).abs() <= 1e-12 * slow.abs().max(1.0));
+            // Death counters use end-of-window semantics.
+            let by_end = plan
+                .events()
+                .iter()
+                .filter(|ev| ev.kind.is_permanent() && ev.at_s < t1)
+                .count();
+            assert_eq!(e.cards_lost + e.hosts_lost, by_end);
+        }
+    }
+}
+
+#[test]
+fn escalation_chains_never_pass_the_horizon() {
+    for seed in [4u64, 9, 0x5EED, 0xFA0175] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(5.0, 500.0);
+        // Raw plans with aggressive edges...
+        let events: Vec<FaultEvent> = (0..16).map(|_| random_event(&mut rng, horizon)).collect();
+        let resolved = FaultPlan::from_events(events).resolved(seed ^ 0xE5C, horizon);
+        for ev in resolved.events() {
+            assert!(
+                ev.at_s < horizon,
+                "seed {seed}: event at {} past horizon {horizon}",
+                ev.at_s
+            );
+        }
+        // ...and the library's own cluster campaigns.
+        let campaign = FaultPlan::cluster_campaign(seed, horizon, 20, 100, 2);
+        for ev in campaign.events() {
+            assert!(ev.at_s < horizon);
+        }
+    }
+}
+
+#[test]
+fn resolution_is_deterministic_idempotent_and_order_free() {
+    for seed in [6u64, 8, 0xD00D] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(10.0, 200.0);
+        let events: Vec<FaultEvent> = (0..10).map(|_| random_event(&mut rng, horizon)).collect();
+
+        let once = FaultPlan::from_events(events.clone()).resolved(seed, horizon);
+        // Same seed, same outcome — from any insertion order.
+        for _ in 0..6 {
+            let mut perm = events.clone();
+            shuffle(&mut perm, &mut rng);
+            assert_eq!(FaultPlan::from_events(perm).resolved(seed, horizon), once);
+        }
+        // Idempotent under the same seed.
+        assert_eq!(once.resolved(seed, horizon), once);
+        // Zero-probability edges never fire no matter the seed.
+        let mut damp = events.clone();
+        for ev in &mut damp {
+            if let Some(esc) = &mut ev.escalates_to {
+                esc.probability = 0.0;
+            }
+        }
+        let damped = FaultPlan::from_events(damp.clone()).resolved(seed, horizon);
+        assert_eq!(damped.events().len(), damp.len());
+    }
+}
+
+#[test]
+fn zero_fault_window_fields_are_bit_exactly_healthy() {
+    // Any window that no transient fault overlaps must return the
+    // healthy identity exactly — the property the cluster simulator's
+    // bit-identity guarantee stands on.
+    let mut rng = FaultRng::new(0x1D);
+    for _ in 0..20 {
+        let gap_start = rng.range(100.0, 200.0);
+        let plan = FaultPlan::none()
+            .with_event(
+                0.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.5,
+                    duration_s: 50.0,
+                },
+            )
+            .with_event(gap_start + 50.0, FaultKind::CardDeath { card: 0 });
+        let e = plan.effects_over(60.0, gap_start);
+        assert_eq!(e.net_bw_factor.to_bits(), 1.0f64.to_bits());
+        assert_eq!(e.extra_latency_s.to_bits(), 0.0f64.to_bits());
+        assert_eq!(e.pcie_stall_s.to_bits(), 0.0f64.to_bits());
+        assert_eq!(e.compute_slowdown.to_bits(), 1.0f64.to_bits());
+    }
+}

@@ -15,12 +15,61 @@ use crate::Fnv;
 use phi_fabric::BcastScheme;
 use phi_hpl::hybrid::{Lookahead, WorkDivision};
 use phi_hpl::GigaflopsReport;
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// Why a cache record could not be read. `Io` is the environment's
+/// fault (permissions, disk); `Corrupt` means the file exists but its
+/// bytes are not a valid record — truncated write, bit flip, wrong
+/// format. Callers treat `Corrupt` as "recompute and overwrite", never
+/// as a panic.
+#[derive(Debug)]
+pub enum CacheReadError {
+    /// The underlying read failed (other than not-found).
+    Io(io::Error),
+    /// The file exists but does not parse as a cache record.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What the parser tripped over.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CacheReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cache read failed: {e}"),
+            Self::Corrupt { path, reason } => {
+                write!(f, "corrupt cache record {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CacheReadError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
 /// Bumped whenever the search or serialization changes meaning, so old
-/// cache entries can never be mistaken for current ones.
-const TUNER_VERSION: u64 = 1;
+/// cache entries can never be mistaken for current ones. v2 added the
+/// `end <fnv>` integrity trailer.
+const TUNER_VERSION: u64 = 2;
+
+/// First line of every record; the version here tracks [`TUNER_VERSION`].
+const HEADER: &str = "phi-tune cache v2";
 
 /// The content-addressed cache key of a tuning run.
 pub fn cache_key(machine: &MachineConfig, space: &TuneSpace, seed: u64) -> u64 {
@@ -55,13 +104,31 @@ impl TuneCache {
     /// truncated file counts as a miss, not an error — the tuner simply
     /// re-runs and overwrites it.
     pub fn load(&self, key: u64) -> io::Result<Option<TuneOutcome>> {
+        match self.load_checked(key) {
+            Ok(out) => Ok(out),
+            Err(CacheReadError::Corrupt { .. }) => Ok(None),
+            Err(CacheReadError::Io(e)) => Err(e),
+        }
+    }
+
+    /// Like [`load`](Self::load), but a damaged file surfaces as a
+    /// typed [`CacheReadError::Corrupt`] instead of a silent miss, so
+    /// callers can log or count the fallback. Never panics on truncated,
+    /// bit-flipped or empty files.
+    pub fn load_checked(&self, key: u64) -> Result<Option<TuneOutcome>, CacheReadError> {
         let path = self.path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+            Err(e) => return Err(CacheReadError::Io(e)),
         };
-        Ok(parse(&text))
+        match parse(&text) {
+            Some(out) => Ok(Some(out)),
+            None => Err(CacheReadError::Corrupt {
+                path,
+                reason: diagnose(&text),
+            }),
+        }
     }
 
     /// Stores an outcome under its own fingerprint.
@@ -115,11 +182,14 @@ fn score_line(r: &GigaflopsReport) -> String {
 }
 
 /// The deterministic byte serialization of an outcome (wall time and
-/// the cache-hit flag excluded).
+/// the cache-hit flag excluded). The final `end <fnv>` line is an
+/// FNV-1a over every preceding byte, so truncations and bit flips are
+/// detectably corrupt rather than silently parseable.
 pub fn serialize(out: &TuneOutcome) -> String {
     let m = &out.machine;
     let mut s = String::new();
-    s.push_str("phi-tune cache v1\n");
+    s.push_str(HEADER);
+    s.push('\n');
     s.push_str(&format!("key {:016x}\n", out.fingerprint));
     s.push_str(&format!(
         "machine nodes={} cards={} mem={:016x} n={}\n",
@@ -144,7 +214,21 @@ pub fn serialize(out: &TuneOutcome) -> String {
             score_line(&sc.report)
         ));
     }
+    let mut h = Fnv::new();
+    h.write(s.as_bytes());
+    s.push_str(&format!("end {:016x}\n", h.finish()));
     s
+}
+
+/// Splits off and verifies the `end <fnv>` trailer, returning the body
+/// it covers. Any truncation or bit flip fails here.
+fn verify_trailer(text: &str) -> Option<&str> {
+    let (_, last) = text.strip_suffix('\n')?.rsplit_once('\n')?;
+    let stored = u64::from_str_radix(last.strip_prefix("end ")?, 16).ok()?;
+    let body = &text[..text.len() - last.len() - 1];
+    let mut h = Fnv::new();
+    h.write(body.as_bytes());
+    (h.finish() == stored).then_some(body)
 }
 
 fn field<'a>(tokens: &'a [&str], name: &str) -> Option<&'a str> {
@@ -192,9 +276,24 @@ fn parse_score(tokens: &[&str], n: usize) -> Option<GigaflopsReport> {
     Some(GigaflopsReport::new(n, time, peak))
 }
 
+/// A human-readable first guess at what is wrong with an unparseable
+/// record, for the `Corrupt` error message.
+fn diagnose(text: &str) -> &'static str {
+    if text.is_empty() {
+        "empty file"
+    } else if !text.starts_with(HEADER) {
+        "unrecognized header (wrong format or stale version)"
+    } else if verify_trailer(text).is_none() {
+        "integrity trailer missing or mismatched (truncated or bit-flipped)"
+    } else {
+        "corrupted record body"
+    }
+}
+
 fn parse(text: &str) -> Option<TuneOutcome> {
-    let mut lines = text.lines();
-    if lines.next()? != "phi-tune cache v1" {
+    let body = verify_trailer(text)?;
+    let mut lines = body.lines();
+    if lines.next()? != HEADER {
         return None;
     }
     let key = u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
@@ -374,5 +473,91 @@ mod tests {
         assert!(cache.load(0xDEAD).unwrap().is_none());
         assert!(cache.load(0xBEEF).unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_cache_files_surface_typed_errors_and_never_panic() {
+        let dir = tmp_dir("damaged");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TuneCache::open(&dir).unwrap();
+        let m = small_machine();
+        let space = TuneSpace::coarse(&m);
+        let opts = TuneOptions {
+            coarse_only: true,
+            ..TuneOptions::default()
+        };
+        let good = tune(&m, &space, &opts);
+        let bytes = serialize(&good).into_bytes();
+        let key = good.fingerprint;
+
+        // Empty file.
+        std::fs::write(cache.path(key), b"").unwrap();
+        match cache.load_checked(key) {
+            Err(CacheReadError::Corrupt { reason, .. }) => assert_eq!(reason, "empty file"),
+            other => panic!("expected Corrupt(empty), got {other:?}"),
+        }
+
+        // Truncations at every prefix length must parse-fail or parse,
+        // never panic (the full record is the only valid prefix).
+        for cut in (0..bytes.len()).step_by(37) {
+            std::fs::write(cache.path(key), &bytes[..cut]).unwrap();
+            assert!(
+                cache.load_checked(key).unwrap_or(None).is_none(),
+                "truncation at {cut} produced a record"
+            );
+        }
+
+        // A single bit flip anywhere — header, payload or trailer — is
+        // caught by the integrity trailer, never panics, never yields a
+        // silently altered record.
+        for pos in (0..bytes.len()).step_by(11) {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            std::fs::write(cache.path(key), &flipped).unwrap();
+            match cache.load_checked(key) {
+                Err(CacheReadError::Corrupt { .. }) => {}
+                other => panic!("bit flip at {pos} not caught: {other:?}"),
+            }
+        }
+
+        // The lenient `load` maps every Corrupt to a miss.
+        std::fs::write(cache.path(key), "phi-tune cache v2\ngarbage").unwrap();
+        assert!(cache.load(key).unwrap().is_none());
+
+        // And `tune_cached` recovers: recompute, overwrite, serve hits.
+        let recomputed = tune_cached(&m, &space, &opts, &cache).unwrap();
+        assert!(!recomputed.cache_hit);
+        assert_eq!(recomputed.tuned, good.tuned);
+        assert_eq!(
+            std::fs::read(cache.path(key)).unwrap(),
+            serialize(&recomputed).into_bytes(),
+            "bad bytes must be overwritten with a valid record"
+        );
+        assert!(tune_cached(&m, &space, &opts, &cache).unwrap().cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn post_recovery_retune_never_regresses_baseline() {
+        // After a host death on the paper's 100-node system the
+        // survivors re-tune for the 99-rank fallback machine; the tuned
+        // configuration must still beat (or match) the untuned baseline.
+        let lost_one = MachineConfig {
+            nodes: 99,
+            ..MachineConfig::paper_cluster_100()
+        };
+        let space = TuneSpace::coarse(&lost_one);
+        let opts = TuneOptions {
+            coarse_only: true,
+            ..TuneOptions::default()
+        };
+        let out = tune(&lost_one, &space, &opts);
+        assert!(
+            out.tuned_report.time_s <= out.baseline_report.time_s,
+            "re-tune regressed: {} s vs baseline {} s",
+            out.tuned_report.time_s,
+            out.baseline_report.time_s
+        );
+        assert!(out.tuned_report.gflops >= out.baseline_report.gflops);
     }
 }

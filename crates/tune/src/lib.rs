@@ -36,7 +36,7 @@ pub mod cache;
 pub mod search;
 pub mod space;
 
-pub use cache::TuneCache;
+pub use cache::{CacheReadError, TuneCache};
 pub use search::{tune, tune_cached, ScoredCandidate, TuneOptions, TuneOutcome, TunedConfig};
 pub use space::{Candidate, MachineConfig, TuneSpace};
 

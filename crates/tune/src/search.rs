@@ -439,10 +439,17 @@ pub fn tune_cached(
 ) -> std::io::Result<TuneOutcome> {
     let t0 = Instant::now();
     let key = cache::cache_key(machine, space, opts.seed);
-    if let Some(mut out) = cache.load(key)? {
-        out.cache_hit = true;
-        out.wall_time_s = t0.elapsed().as_secs_f64();
-        return Ok(out);
+    match cache.load_checked(key) {
+        Ok(Some(mut out)) => {
+            out.cache_hit = true;
+            out.wall_time_s = t0.elapsed().as_secs_f64();
+            return Ok(out);
+        }
+        Ok(None) => {}
+        // A damaged record is not fatal: fall through to a fresh tune,
+        // which overwrites the bad bytes below.
+        Err(cache::CacheReadError::Corrupt { .. }) => {}
+        Err(cache::CacheReadError::Io(e)) => return Err(e),
     }
     let out = tune(machine, space, opts);
     cache.store(&out)?;

@@ -1,0 +1,213 @@
+//! Differential test layer for the fault-tolerant cluster simulator.
+//!
+//! Two invariants lock the recovery math against silent rot:
+//!
+//! 1. **Zero-fault bit-identity** — `simulate_cluster_faulty` under
+//!    `FaultPlan::none()` + `FtPolicy::none()` must reproduce
+//!    `simulate_cluster` bit for bit, across every grid shape ×
+//!    broadcast scheme × look-ahead combination.
+//! 2. **Monotonicity** — any non-empty plan can only cost: degraded
+//!    time ≥ fault-free time, degraded GF/s ≤ fault-free GF/s.
+//!
+//! Plus the ISSUE 4 acceptance scenario: a host-rank death on the
+//! paper's Table III 100-node system (N = 825K, 10 × 10) completes on
+//! the 9 × 11 fallback grid with overhead_fraction < 1. The numeric
+//! (HPL-residual) half of that acceptance lives in `phi-blas`'s
+//! `checkpoint_restore_resumes_bit_identically` and is re-exercised
+//! here end to end through the facade.
+
+use linpack_phi::blas::gemm::BlockSizes;
+use linpack_phi::blas::lu::{getrf, getrf_stage, LuFactors};
+use linpack_phi::fabric::{BcastScheme, ProcessGrid};
+use linpack_phi::faults::{Escalation, FaultKind, FaultPlan};
+use linpack_phi::hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
+use linpack_phi::hpl::{simulate_cluster_faulty, FtPolicy};
+use linpack_phi::matrix::{hpl_residual, MatGen};
+
+/// The sweep's grid shapes with problem sizes that fit 64 GiB/node.
+const GRIDS: [(usize, usize, usize); 4] = [
+    (84_000, 1, 1),
+    (168_000, 2, 2),
+    (240_000, 4, 8),
+    (825_000, 10, 10),
+];
+
+const LOOKAHEADS: [Lookahead; 3] = [Lookahead::None, Lookahead::Basic, Lookahead::Pipelined];
+
+fn sweep_cfgs() -> Vec<HybridConfig> {
+    let mut cfgs = Vec::new();
+    for (n, p, q) in GRIDS {
+        for bcast in BcastScheme::ALL {
+            for lookahead in LOOKAHEADS {
+                let mut cfg = HybridConfig::new(n, ProcessGrid::new(p, q), 1);
+                cfg.bcast = bcast;
+                cfg.lookahead = lookahead;
+                cfgs.push(cfg);
+            }
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_everywhere() {
+    for cfg in sweep_cfgs() {
+        let base = simulate_cluster(&cfg, false);
+        let ft = simulate_cluster_faulty(&cfg, &FaultPlan::none(), &FtPolicy::none(), false);
+        let label = format!(
+            "{}/{}x{}/{:?}/{:?}",
+            cfg.n, cfg.grid.p, cfg.grid.q, cfg.bcast, cfg.lookahead
+        );
+        assert_eq!(
+            ft.result.report.time_s.to_bits(),
+            base.report.time_s.to_bits(),
+            "time diverged on {label}"
+        );
+        assert_eq!(
+            ft.result.report.gflops.to_bits(),
+            base.report.gflops.to_bits(),
+            "gflops diverged on {label}"
+        );
+        let f = ft.result.report.faults.expect("accounting present");
+        assert_eq!(
+            (f.events, f.cards_lost, f.hosts_lost, f.degraded_stages),
+            (0, 0, 0, 0),
+            "{label}"
+        );
+        assert_eq!(f.fallback_grid, None, "{label}");
+        assert_eq!(f.checkpoint_s, 0.0, "{label}");
+        assert_eq!(f.recovery_s, 0.0, "{label}");
+    }
+}
+
+#[test]
+fn non_empty_plans_are_monotone_everywhere() {
+    for cfg in sweep_cfgs() {
+        let base = simulate_cluster(&cfg, false);
+        // A seeded cluster campaign scaled to this run's length, so
+        // every configuration sees transient windows, deaths and
+        // cascades that actually overlap the run.
+        let plan = FaultPlan::cluster_campaign(
+            0xD1FF ^ (cfg.n as u64) ^ ((cfg.grid.p as u64) << 40),
+            base.report.time_s * 1.2,
+            4,
+            cfg.grid.size(),
+            cfg.cards_per_node,
+        );
+        assert!(!plan.is_empty());
+        let ft = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::none(), false);
+        let label = format!(
+            "{}/{}x{}/{:?}/{:?}",
+            cfg.n, cfg.grid.p, cfg.grid.q, cfg.bcast, cfg.lookahead
+        );
+        assert!(
+            ft.result.report.time_s >= base.report.time_s,
+            "{label}: faulted run got faster ({} < {})",
+            ft.result.report.time_s,
+            base.report.time_s
+        );
+        assert!(
+            ft.result.report.gflops <= base.report.gflops,
+            "{label}: faulted run got more GF/s"
+        );
+    }
+}
+
+#[test]
+fn table3_host_death_acceptance() {
+    // ISSUE 4 acceptance: the 100-node Table III system loses a host
+    // rank a third of the way in, recovers from checkpointed panel
+    // state onto the 9×11 fallback grid, and completes with
+    // overhead_fraction < 1.
+    let mut cfg = HybridConfig::new(825_000, ProcessGrid::new(10, 10), 1);
+    cfg.lookahead = Lookahead::Pipelined;
+    let healthy = simulate_cluster(&cfg, false);
+    let plan = FaultPlan::none().with_event(
+        healthy.report.time_s / 3.0,
+        FaultKind::HostDeath { rank: 55 },
+    );
+    let ft = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+    let r = &ft.result.report;
+    let f = r.faults.expect("accounting present");
+    assert_eq!(f.hosts_lost, 1);
+    assert_eq!(f.fallback_grid, Some((9, 11)));
+    assert!(f.recovery_s > 0.0);
+    let overhead = f.overhead_fraction(r.time_s);
+    assert!(
+        overhead > 0.0 && overhead < 1.0,
+        "overhead_fraction = {overhead}"
+    );
+    // The run replays bit-identically.
+    let again = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+    assert_eq!(ft.run_fingerprint(), again.run_fingerprint());
+}
+
+#[test]
+fn escalated_cascade_is_monotone_and_single_fingerprint() {
+    // A CRC storm escalating into a card death must cost at least as
+    // much as the storm alone, and the cascade carries one fingerprint
+    // distinct from the storm's.
+    let cfg = HybridConfig::new(84_000, ProcessGrid::new(1, 1), 1);
+    let healthy = simulate_cluster(&cfg, false);
+    let t = healthy.report.time_s;
+    let storm = FaultKind::PcieCrcStorm {
+        stall_s: 2e-4,
+        duration_s: t / 4.0,
+    };
+    let storm_only = FaultPlan::none().with_event(t / 3.0, storm);
+    let cascade = FaultPlan::none()
+        .with_cascade(
+            t / 3.0,
+            storm,
+            Escalation {
+                kind: FaultKind::CardDeath { card: 0 },
+                delay_s: t / 10.0,
+                probability: 1.0,
+            },
+        )
+        .resolved(3, t * 2.0);
+    assert_ne!(storm_only.fingerprint(), cascade.fingerprint());
+    let pol = FtPolicy::default();
+    let t_storm = simulate_cluster_faulty(&cfg, &storm_only, &pol, false)
+        .result
+        .report
+        .time_s;
+    let t_cascade = simulate_cluster_faulty(&cfg, &cascade, &pol, false)
+        .result
+        .report
+        .time_s;
+    assert!(t_storm >= healthy.report.time_s);
+    assert!(t_cascade > t_storm, "the escalated death must cost extra");
+}
+
+#[test]
+fn checkpoint_restore_solve_passes_hpl_residual_via_facade() {
+    // End-to-end numeric proof of the recovery model: interrupt a
+    // blocked factorization mid-flight, restore the checkpoint, finish,
+    // and pass HPL's acceptance test — bit-identical to never crashing.
+    let (n, nb) = (128usize, 32usize);
+    let a0 = MatGen::new(0xFA).matrix::<f64>(n, n);
+    let b = MatGen::new(0xFB).rhs::<f64>(n);
+    let bs = BlockSizes::default();
+
+    let mut full = a0.clone();
+    let piv_full = getrf(&mut full.view_mut(), nb, &bs).expect("non-singular");
+
+    let mut a = a0.clone();
+    let mut ipiv = vec![0usize; n];
+    let mut j = 0;
+    j = getrf_stage(&mut a.view_mut(), j, nb, &bs, &mut ipiv).expect("stage 0");
+    let (ckpt_a, ckpt_piv, ckpt_j) = (a.clone(), ipiv.clone(), j);
+    let (mut a, mut ipiv, mut j) = (ckpt_a, ckpt_piv, ckpt_j);
+    while j < n {
+        j = getrf_stage(&mut a.view_mut(), j, nb, &bs, &mut ipiv).expect("resumed stage");
+    }
+    assert_eq!(ipiv, piv_full);
+    for i in 0..n {
+        for c in 0..n {
+            assert_eq!(a[(i, c)].to_bits(), full[(i, c)].to_bits(), "({i},{c})");
+        }
+    }
+    let x = LuFactors { lu: a, ipiv }.solve(&b);
+    assert!(hpl_residual(&a0.view(), &x, &b).passed);
+}
