@@ -3,11 +3,14 @@
 //! random campaigns; the replay check must always print bit-identical.
 //!
 //! ```text
-//! faults [SEED] [--single] [--cluster] [--out FILE]
+//! faults [SEED] [--single] [--cluster] [--remap patch|wholesale] [--out FILE]
 //! ```
 //!
 //! By default both the single-node table and the Table III 100-node
 //! cluster table are printed; `--single` / `--cluster` restrict to one.
+//! `--remap` picks the host-death recovery remapping for the cluster
+//! table (default `patch`, the locality-preserving strategy; the table
+//! always carries one explicitly-wholesale row for comparison).
 //! `--out FILE` additionally writes the report to `FILE` (the CI smoke
 //! job uploads it as an artifact).
 
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
     let mut seed = 0xFA_0175u64;
     let mut single = false;
     let mut cluster = false;
+    let mut remap = phi_fabric::RemapStrategy::default();
     let mut out_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -51,6 +55,17 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--single" => single = true,
             "--cluster" => cluster = true,
+            "--remap" => match args.next().as_deref() {
+                Some("patch") => remap = phi_fabric::RemapStrategy::Patch,
+                Some("wholesale") => remap = phi_fabric::RemapStrategy::Wholesale,
+                other => {
+                    eprintln!(
+                        "faults: --remap needs `patch` or `wholesale`, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(p) => out_path = Some(p),
                 None => {
@@ -86,7 +101,7 @@ fn main() -> ExitCode {
         }
         report.push_str(&format!(
             "== Fault campaign (Table III, N = 825K on 10x10) ==\n{}",
-            phi_bench::fault_campaign_cluster_render(seed)
+            phi_bench::fault_campaign_cluster_render(seed, remap)
         ));
     }
     print!("{report}");

@@ -1,0 +1,39 @@
+//! Performance-regression gate over the deterministic simulators.
+//!
+//! ```text
+//! perfgate [--baseline FILE] [--cache-dir DIR]
+//! ```
+//!
+//! Computes the headline metrics (Table III cluster campaign GFLOPS,
+//! host-death recovery overheads for both remap strategies, patch
+//! redistribution-volume reduction, 100-node smoke-tune GFLOPS) and
+//! compares them against the committed `BENCH_baseline.json` at ±1 %.
+//! Any metric outside the band fails the process with a delta table.
+//! `UPDATE_BASELINE=1` regenerates the baseline file instead.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match phi_bench::perfgate::GateArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let update = std::env::var_os("UPDATE_BASELINE").is_some_and(|v| v != "0");
+    match phi_bench::perfgate::run_gate(&args, update) {
+        Ok((report, pass)) => {
+            print!("{report}");
+            if pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! check that re-runs one campaign and verifies bit-identity.
 
 use crate::TextTable;
-use phi_fabric::ProcessGrid;
+use phi_fabric::{ProcessGrid, RemapStrategy};
 use phi_faults::{Escalation, FaultKind, FaultPlan};
 use phi_hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
 use phi_hpl::{simulate_cluster_faulty, FtPolicy};
@@ -25,8 +25,12 @@ pub struct CampaignRow {
     pub cards_lost: usize,
     /// Host ranks permanently lost.
     pub hosts_lost: usize,
-    /// Grid the survivors re-formed, when a host died.
+    /// Grid the survivors re-formed — only under a wholesale reshape.
     pub fallback: Option<(usize, usize)>,
+    /// Recovery remapping strategy the row ran under.
+    pub remap: RemapStrategy,
+    /// Trailing `nb × nb` blocks redistributed across host deaths.
+    pub blocks_moved: usize,
     /// Degraded wall time, seconds.
     pub time_s: f64,
     /// Healthy wall time of the same configuration, seconds.
@@ -81,6 +85,8 @@ fn run(cfg: &HybridConfig, label: &str, plan: &FaultPlan, policy: &FtPolicy) -> 
         cards_lost: f.cards_lost,
         hosts_lost: f.hosts_lost,
         fallback: f.fallback_grid,
+        remap: f.remap,
+        blocks_moved: f.blocks_moved,
         time_s: out.result.report.time_s,
         healthy_s: f.healthy_time_s,
         gflops: out.result.report.gflops,
@@ -153,14 +159,19 @@ pub fn fault_campaign_rows(seed: u64) -> Vec<CampaignRow> {
 }
 
 /// The Table III 100-node scenario set: healthy baseline, a transient
-/// link fault, host-rank deaths under both recovery policies, a card
-/// death, the two cascade archetypes (storm → card, link flap → host),
-/// and two seeded cluster campaigns derived from `seed`.
-pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
+/// link fault, host-rank deaths under both recovery policies (plus an
+/// explicit wholesale-remap row for the redistribution-volume
+/// comparison), a card death, the two cascade archetypes
+/// (storm → card, link flap → host), a three-hop
+/// storm → card → host chain, and two seeded cluster campaigns derived
+/// from `seed`. Host-death rows recover under `remap` except the
+/// explicitly-wholesale row.
+pub fn fault_campaign_cluster_rows(seed: u64, remap: RemapStrategy) -> Vec<CampaignRow> {
     let cfg = paper_cluster();
     let healthy = simulate_cluster(&cfg, false).report.time_s;
-    let none = FtPolicy::none();
-    let ckpt = FtPolicy::default();
+    let none = FtPolicy::none().with_remap(remap);
+    let ckpt = FtPolicy::default().with_remap(remap);
+    let whsl = FtPolicy::default().with_remap(RemapStrategy::Wholesale);
 
     let host_death = FaultPlan::none().with_event(healthy / 3.0, FaultKind::HostDeath { rank: 42 });
     let storm_cascade = FaultPlan::none()
@@ -170,11 +181,7 @@ pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
                 stall_s: 2e-4,
                 duration_s: healthy * 0.1,
             },
-            Escalation {
-                kind: FaultKind::CardDeath { card: 0 },
-                delay_s: healthy * 0.05,
-                probability: 1.0,
-            },
+            Escalation::new(FaultKind::CardDeath { card: 0 }, healthy * 0.05, 1.0),
         )
         .resolved(seed, healthy * 2.0);
     let flap_cascade = FaultPlan::none()
@@ -184,11 +191,21 @@ pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
                 factor: 0.2,
                 duration_s: healthy * 0.1,
             },
-            Escalation {
-                kind: FaultKind::HostDeath { rank: 7 },
-                delay_s: healthy * 0.05,
-                probability: 1.0,
+            Escalation::new(FaultKind::HostDeath { rank: 7 }, healthy * 0.05, 1.0),
+        )
+        .resolved(seed, healthy * 2.0);
+    // The recursive-chain archetype: a CRC storm takes out its card,
+    // and the orphaned host rank follows — three hops, one causal unit.
+    let chain_cascade = FaultPlan::none()
+        .with_cascade(
+            healthy / 3.0,
+            FaultKind::PcieCrcStorm {
+                stall_s: 2e-4,
+                duration_s: healthy * 0.1,
             },
+            Escalation::new(FaultKind::CardDeath { card: 0 }, healthy * 0.05, 1.0).chain(
+                Escalation::new(FaultKind::HostDeath { rank: 23 }, healthy * 0.05, 1.0),
+            ),
         )
         .resolved(seed, healthy * 2.0);
 
@@ -210,6 +227,12 @@ pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
         run(&cfg, "host death @ T/3, recompute", &host_death, &none),
         run(
             &cfg,
+            "host death @ T/3, wholesale remap",
+            &host_death,
+            &whsl,
+        ),
+        run(
+            &cfg,
             "card death @ T/3, checkpointed",
             &FaultPlan::none().with_event(healthy / 3.0, FaultKind::CardDeath { card: 0 }),
             &ckpt,
@@ -226,6 +249,7 @@ pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
             &flap_cascade,
             &ckpt,
         ),
+        run(&cfg, "storm -> card -> host chain", &chain_cascade, &ckpt),
     ];
     for i in 0..2u64 {
         let s = seed.wrapping_add(i);
@@ -241,8 +265,8 @@ pub fn fault_campaign_cluster_rows(seed: u64) -> Vec<CampaignRow> {
 
 fn render_rows(rows: &[CampaignRow]) -> String {
     let mut t = TextTable::new([
-        "scenario", "events", "cards", "hosts", "grid", "t(s)", "healthy", "GFLOPS", "ovhd",
-        "ckpt(s)", "rec(s)",
+        "scenario", "events", "cards", "hosts", "remap", "grid", "moved", "t(s)", "healthy",
+        "GFLOPS", "ovhd", "ckpt(s)", "rec(s)",
     ]);
     for r in rows {
         t.row([
@@ -250,7 +274,9 @@ fn render_rows(rows: &[CampaignRow]) -> String {
             r.events.to_string(),
             r.cards_lost.to_string(),
             r.hosts_lost.to_string(),
+            r.remap.label().to_string(),
             r.fallback_label(),
+            r.blocks_moved.to_string(),
             format!("{:.2}", r.time_s),
             format!("{:.2}", r.healthy_s),
             format!("{:.0}", r.gflops),
@@ -293,9 +319,10 @@ pub fn fault_campaign_render(seed: u64) -> String {
     )
 }
 
-/// Renders the Table III 100-node campaign table and its replay check.
-pub fn fault_campaign_cluster_render(seed: u64) -> String {
-    let rows = fault_campaign_cluster_rows(seed);
+/// Renders the Table III 100-node campaign table and its replay check,
+/// recovering host deaths under `remap`.
+pub fn fault_campaign_cluster_render(seed: u64, remap: RemapStrategy) -> String {
+    let rows = fault_campaign_cluster_rows(seed, remap);
     let cfg = paper_cluster();
     let healthy = simulate_cluster(&cfg, false).report.time_s;
     let plan =
@@ -329,17 +356,21 @@ pub fn experiments_fault_section_md(seed: u64) -> String {
         .expect("writing to a String cannot fail");
     }
     out.push_str("\n### Table III cluster scenarios (N = 825K, 10×10)\n\n");
-    out.push_str("| scenario | events | cards | hosts | grid | overhead | rec(s) |\n");
-    out.push_str("|---|---|---|---|---|---|---|\n");
-    for r in fault_campaign_cluster_rows(seed) {
+    out.push_str(
+        "| scenario | events | cards | hosts | remap | grid | moved | overhead | rec(s) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for r in fault_campaign_cluster_rows(seed, RemapStrategy::default()) {
         writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {:+.1}% | {:.2} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:+.1}% | {:.2} |",
             r.scenario,
             r.events,
             r.cards_lost,
             r.hosts_lost,
+            r.remap.label(),
             r.fallback_label(),
+            r.blocks_moved,
             100.0 * r.overhead,
             r.recovery_s
         )
@@ -381,26 +412,50 @@ mod tests {
 
     #[test]
     fn cluster_table_covers_host_death_and_recovers() {
-        let rows = fault_campaign_cluster_rows(0xFA_0175);
+        let rows = fault_campaign_cluster_rows(0xFA_0175, RemapStrategy::default());
         // Zero-fault row is exactly healthy.
         assert!((rows[0].overhead).abs() < 1e-12);
         assert_eq!(rows[0].fallback, None);
-        // The checkpointed host-death row: one rank lost, survivors on
-        // the 9×11 fallback grid, overhead well under 1 (the ISSUE 4
-        // acceptance bar) and checkpointed recovery cheaper than
-        // recomputing the dead rank's share.
+        assert_eq!(rows[0].blocks_moved, 0);
+        // The checkpointed host-death row: one rank lost, patched in
+        // place (original 10×10 grid kept), overhead well under 1 (the
+        // ISSUE 4 acceptance bar) and checkpointed recovery cheaper
+        // than recomputing the dead rank's share.
         let ck = &rows[2];
         assert_eq!((ck.hosts_lost, ck.cards_lost), (1, 0));
-        assert_eq!(ck.fallback, Some((9, 11)));
+        assert_eq!(ck.remap, RemapStrategy::Patch);
+        assert_eq!(ck.fallback, None, "a patch keeps the grid");
+        assert!(ck.blocks_moved > 0);
         assert!(ck.overhead > 0.0 && ck.overhead < 1.0, "{}", ck.overhead);
         let re = &rows[3];
         assert!(ck.recovery_s < re.recovery_s);
+        // The wholesale row reshapes to the 9×11 fallback grid and ships
+        // ≥ 10× the patch's redistribution volume (ISSUE 5 acceptance —
+        // on a 10×10 grid the closed form gives ~100×).
+        let wh = &rows[4];
+        assert_eq!(wh.remap, RemapStrategy::Wholesale);
+        assert_eq!(wh.fallback, Some((9, 11)));
+        assert!(
+            wh.blocks_moved >= 10 * ck.blocks_moved,
+            "patch moved {} vs wholesale {}",
+            ck.blocks_moved,
+            wh.blocks_moved
+        );
+        assert!(ck.recovery_s <= wh.recovery_s);
         // Cascades resolve into two-event causal units.
-        let storm = &rows[5];
+        let storm = &rows[6];
         assert_eq!((storm.events, storm.cards_lost), (2, 1));
-        let flap = &rows[6];
+        let flap = &rows[7];
         assert_eq!((flap.events, flap.hosts_lost), (2, 1));
-        assert!(flap.fallback.is_some());
+        assert_eq!(flap.fallback, None, "patched, not reshaped");
+        assert!(flap.blocks_moved > 0);
+        // The three-hop chain resolves storm → card → host: three
+        // events, one card and one host down.
+        let chain = &rows[8];
+        assert_eq!(
+            (chain.events, chain.cards_lost, chain.hosts_lost),
+            (3, 1, 1)
+        );
         // Monotone: every faulted row costs time and GF/s.
         for r in &rows[1..] {
             assert!(r.time_s >= r.healthy_s, "{}", r.scenario);
@@ -410,11 +465,24 @@ mod tests {
 
     #[test]
     fn cluster_render_is_deterministic() {
-        let a = fault_campaign_cluster_render(0xCAFE);
-        assert_eq!(a, fault_campaign_cluster_render(0xCAFE));
+        let a = fault_campaign_cluster_render(0xCAFE, RemapStrategy::default());
+        assert_eq!(
+            a,
+            fault_campaign_cluster_render(0xCAFE, RemapStrategy::default())
+        );
         assert!(a.contains("bit-identical"), "{a}");
         let md = experiments_fault_section_md(0xCAFE);
         assert_eq!(md, experiments_fault_section_md(0xCAFE));
         assert!(md.contains("Table III cluster scenarios"));
+    }
+
+    #[test]
+    fn wholesale_everywhere_matches_the_explicit_row() {
+        // Running the whole table under Wholesale turns the default
+        // host-death row into the explicit wholesale row.
+        let rows = fault_campaign_cluster_rows(0x11, RemapStrategy::Wholesale);
+        assert_eq!(rows[2].fingerprint, rows[4].fingerprint);
+        assert_eq!(rows[2].blocks_moved, rows[4].blocks_moved);
+        assert_eq!(rows[2].fallback, Some((9, 11)));
     }
 }

@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod faults;
 pub mod format;
 pub mod lintgate;
+pub mod perfgate;
 pub mod tune;
 
 pub use experiments::*;

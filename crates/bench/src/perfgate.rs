@@ -1,0 +1,460 @@
+//! Performance-regression gate: a handful of headline metrics computed
+//! in-process from the deterministic simulators, compared against the
+//! committed `BENCH_baseline.json` with a ±1 % tolerance.
+//!
+//! The metrics are all analytic-model outputs, so on an unchanged tree
+//! they reproduce bit-for-bit and the gate is noise-free: any delta is
+//! a real change to the model or the recovery machinery. CI runs the
+//! `perfgate` binary; an intentional change regenerates the baseline
+//! with `UPDATE_BASELINE=1` and commits the diff like any fixture.
+
+use crate::faults::fault_campaign_cluster_rows;
+use crate::tune::{run_tuner, TuneBenchError};
+use crate::TextTable;
+use phi_fabric::RemapStrategy;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Seed the gate's fault campaign runs under — the fixture seed, so the
+/// goldens, the docs and the baseline all describe the same campaign.
+pub const GATE_SEED: u64 = 0xFA_0175;
+
+/// Relative tolerance for every metric: a metric regresses (or
+/// improves) past the gate when `|current / baseline - 1|` exceeds
+/// this.
+pub const GATE_TOLERANCE: f64 = 0.01;
+
+/// A failure in the perf gate, carried as a value so the binary exits
+/// with a message instead of a panic backtrace.
+#[derive(Debug)]
+pub enum PerfGateError {
+    /// An unrecognized command-line argument.
+    BadArg(String),
+    /// Filesystem I/O failed (baseline file or tune cache).
+    Io {
+        /// What the gate was doing when the error occurred.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The baseline file exists but a metric line cannot be parsed.
+    Malformed(String),
+}
+
+impl fmt::Display for PerfGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfGateError::BadArg(a) => write!(
+                f,
+                "unrecognized argument `{a}` (expected --baseline <path> or --cache-dir <path>)"
+            ),
+            PerfGateError::Io { context, source } => write!(f, "{context}: {source}"),
+            PerfGateError::Malformed(line) => {
+                write!(f, "malformed baseline metric line: `{line}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerfGateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PerfGateError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<TuneBenchError> for PerfGateError {
+    fn from(e: TuneBenchError) -> Self {
+        match e {
+            TuneBenchError::BadArg(a) => PerfGateError::BadArg(a),
+            TuneBenchError::Io { context, source } => PerfGateError::Io { context, source },
+        }
+    }
+}
+
+fn io_ctx(context: impl Into<String>) -> impl FnOnce(io::Error) -> PerfGateError {
+    let context = context.into();
+    move |source| PerfGateError::Io { context, source }
+}
+
+/// One gated metric: a stable name and its current value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable snake_case key, used to match against the baseline.
+    pub name: &'static str,
+    /// Current value on this tree.
+    pub value: f64,
+}
+
+/// Computes every gated metric in-process. The fault-campaign figures
+/// come from the Table III cluster campaign at [`GATE_SEED`]; the tune
+/// figure from the 100-node smoke tune (cached under `cache_dir`).
+pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
+    let rows = fault_campaign_cluster_rows(GATE_SEED, RemapStrategy::Patch);
+    // Row layout is pinned by `cluster_table_covers_host_death_and_recovers`:
+    // 0 healthy, 2 host death (patch, checkpointed), 4 host death (wholesale).
+    let healthy = &rows[0];
+    let patch = &rows[2];
+    let whsl = &rows[4];
+    let runs = run_tuner(true, cache_dir)?;
+    let cluster100 = runs
+        .iter()
+        .find(|r| r.label == "cluster-100")
+        .expect("run_tuner always returns the cluster-100 machine");
+    Ok(vec![
+        Metric {
+            name: "cluster_healthy_gflops",
+            value: healthy.gflops,
+        },
+        Metric {
+            name: "host_death_patch_overhead",
+            value: patch.overhead,
+        },
+        Metric {
+            name: "host_death_patch_blocks_moved",
+            value: patch.blocks_moved as f64,
+        },
+        Metric {
+            name: "host_death_wholesale_overhead",
+            value: whsl.overhead,
+        },
+        Metric {
+            name: "host_death_wholesale_blocks_moved",
+            value: whsl.blocks_moved as f64,
+        },
+        Metric {
+            name: "patch_volume_reduction",
+            value: whsl.blocks_moved as f64 / patch.blocks_moved as f64,
+        },
+        Metric {
+            name: "tune_cluster100_smoke_gflops",
+            value: cluster100.outcome.tuned_report.gflops,
+        },
+    ])
+}
+
+/// Renders the metrics as the `BENCH_baseline.json` artifact: one
+/// metric per line so the parser (and `git diff`) stay line-oriented.
+pub fn baseline_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"phi-bench/perfgate/v1\",\n  \"metrics\": {\n");
+    for (i, m) in metrics.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {:.6}{}\n",
+            m.name,
+            m.value,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parses a baseline produced by [`baseline_json`]. Line-based on
+/// purpose — the workspace carries no JSON dependency, and the emitter
+/// guarantees one `"name": value` pair per line inside `"metrics"`.
+pub fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, PerfGateError> {
+    let mut out = Vec::new();
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"metrics\"") {
+            in_metrics = true;
+            continue;
+        }
+        if !in_metrics {
+            continue;
+        }
+        if t.starts_with('}') {
+            break;
+        }
+        let Some((name, value)) = t.split_once(':') else {
+            return Err(PerfGateError::Malformed(t.to_string()));
+        };
+        let name = name.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .trim_end_matches(',')
+            .parse()
+            .map_err(|_| PerfGateError::Malformed(t.to_string()))?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+/// The comparison of one metric against its baseline entry.
+#[derive(Clone, Debug)]
+pub struct GateLine {
+    /// Metric name.
+    pub name: String,
+    /// Value recorded in the baseline, if the baseline has the metric.
+    pub baseline: Option<f64>,
+    /// Value on this tree, if the tree still produces the metric.
+    pub current: Option<f64>,
+    /// `current / baseline - 1`; `None` when either side is missing.
+    pub delta: Option<f64>,
+    /// Whether this line keeps the gate green.
+    pub pass: bool,
+}
+
+/// The full gate verdict: one line per metric, most-regressed first.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Per-metric comparisons.
+    pub lines: Vec<GateLine>,
+}
+
+impl GateReport {
+    /// True iff every metric is within tolerance and neither side has
+    /// metrics the other lacks.
+    pub fn pass(&self) -> bool {
+        self.lines.iter().all(|l| l.pass)
+    }
+
+    /// Renders the delta table the binary prints.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["metric", "baseline", "current", "delta", "gate"]);
+        for l in &self.lines {
+            let f = |v: Option<f64>| v.map_or_else(|| "missing".to_string(), |x| format!("{x:.4}"));
+            t.row([
+                l.name.clone(),
+                f(l.baseline),
+                f(l.current),
+                l.delta
+                    .map_or_else(|| "-".to_string(), |d| format!("{:+.3}%", 100.0 * d)),
+                if l.pass { "ok" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Compares current metrics against the baseline at `tolerance`.
+/// A metric present on only one side fails the gate — a renamed or
+/// dropped metric must come with a regenerated baseline.
+pub fn compare(baseline: &[(String, f64)], current: &[Metric], tolerance: f64) -> GateReport {
+    let mut lines = Vec::new();
+    for m in current {
+        let base = baseline.iter().find(|(n, _)| n == m.name).map(|&(_, v)| v);
+        let delta = base.map(|b| if b == 0.0 { 0.0 } else { m.value / b - 1.0 });
+        let pass = matches!(delta, Some(d) if d.abs() <= tolerance);
+        lines.push(GateLine {
+            name: m.name.to_string(),
+            baseline: base,
+            current: Some(m.value),
+            delta,
+            pass,
+        });
+    }
+    for (n, v) in baseline {
+        if !current.iter().any(|m| m.name == n) {
+            lines.push(GateLine {
+                name: n.clone(),
+                baseline: Some(*v),
+                current: None,
+                delta: None,
+                pass: false,
+            });
+        }
+    }
+    lines.sort_by(|a, b| {
+        let key = |l: &GateLine| l.delta.map_or(f64::INFINITY, f64::abs);
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    GateReport { lines }
+}
+
+/// Parsed command line of the `perfgate` binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateArgs {
+    /// Baseline file to compare against (or regenerate).
+    pub baseline: PathBuf,
+    /// Tuning-cache directory for the smoke-tune metric.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for GateArgs {
+    fn default() -> Self {
+        GateArgs {
+            baseline: PathBuf::from("BENCH_baseline.json"),
+            cache_dir: PathBuf::from("target/tune-cache"),
+        }
+    }
+}
+
+impl GateArgs {
+    /// Parses `--baseline <path>` and `--cache-dir <path>`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, PerfGateError> {
+        let mut out = GateArgs::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--baseline" => match args.next() {
+                    Some(p) => out.baseline = PathBuf::from(p),
+                    None => return Err(PerfGateError::BadArg(a)),
+                },
+                "--cache-dir" => match args.next() {
+                    Some(p) => out.cache_dir = PathBuf::from(p),
+                    None => return Err(PerfGateError::BadArg(a)),
+                },
+                _ => return Err(PerfGateError::BadArg(a)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Runs the whole gate: collect, then either regenerate the baseline
+/// (when `update` is set, as the binary does under `UPDATE_BASELINE=1`)
+/// or compare against it. Returns the report text and whether the gate
+/// passed.
+pub fn run_gate(args: &GateArgs, update: bool) -> Result<(String, bool), PerfGateError> {
+    let metrics = collect_metrics(&args.cache_dir)?;
+    if update {
+        std::fs::write(&args.baseline, baseline_json(&metrics)).map_err(io_ctx(format!(
+            "writing baseline {}",
+            args.baseline.display()
+        )))?;
+        return Ok((
+            format!(
+                "perfgate: wrote {} ({} metrics)\n",
+                args.baseline.display(),
+                metrics.len()
+            ),
+            true,
+        ));
+    }
+    let text = std::fs::read_to_string(&args.baseline).map_err(io_ctx(format!(
+        "reading baseline {} (UPDATE_BASELINE=1 to create it)",
+        args.baseline.display()
+    )))?;
+    let baseline = parse_baseline(&text)?;
+    let report = compare(&baseline, &metrics, GATE_TOLERANCE);
+    let verdict = if report.pass() {
+        format!(
+            "perfgate: PASS — {} metrics within ±{:.0}% of {}\n",
+            metrics.len(),
+            100.0 * GATE_TOLERANCE,
+            args.baseline.display()
+        )
+    } else {
+        let failed = report.lines.iter().filter(|l| !l.pass).count();
+        format!(
+            "perfgate: FAIL — {failed} metric(s) outside ±{:.0}% of {} \
+             (UPDATE_BASELINE=1 to accept an intentional change)\n",
+            100.0 * GATE_TOLERANCE,
+            args.baseline.display()
+        )
+    };
+    Ok((format!("{}{verdict}", report.render()), report.pass()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Vec<Metric> {
+        vec![
+            Metric {
+                name: "cluster_healthy_gflops",
+                value: 107170.25,
+            },
+            Metric {
+                name: "patch_volume_reduction",
+                value: 100.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_line_parser() {
+        let json = baseline_json(&metrics());
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("cluster_healthy_gflops".to_string(), 107170.25),
+                ("patch_volume_reduction".to_string(), 100.0),
+            ]
+        );
+        assert!(parse_baseline("{\n  \"metrics\": {\n    garbage\n  }\n}\n").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_outside() {
+        let m = metrics();
+        let base = parse_baseline(&baseline_json(&m)).unwrap();
+        assert!(compare(&base, &m, GATE_TOLERANCE).pass());
+        // 0.9 % drift: still inside the ±1 % gate.
+        let drifted = vec![
+            Metric {
+                name: "cluster_healthy_gflops",
+                value: 107170.25 * 1.009,
+            },
+            m[1].clone(),
+        ];
+        assert!(compare(&base, &drifted, GATE_TOLERANCE).pass());
+        // 2 % regression: outside, and sorted to the top of the table.
+        let regressed = vec![
+            Metric {
+                name: "cluster_healthy_gflops",
+                value: 107170.25 * 0.98,
+            },
+            m[1].clone(),
+        ];
+        let report = compare(&base, &regressed, GATE_TOLERANCE);
+        assert!(!report.pass());
+        assert_eq!(report.lines[0].name, "cluster_healthy_gflops");
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_fail_the_gate() {
+        let m = metrics();
+        let base = parse_baseline(&baseline_json(&m)).unwrap();
+        let report = compare(&base, &m[..1], GATE_TOLERANCE);
+        assert!(!report.pass());
+        let one = parse_baseline(&baseline_json(&m[..1])).unwrap();
+        assert!(!compare(&one, &m, GATE_TOLERANCE).pass());
+    }
+
+    #[test]
+    fn args_parse_and_reject() {
+        let ok = GateArgs::parse(
+            ["--baseline", "b.json", "--cache-dir", "c"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(ok.baseline, PathBuf::from("b.json"));
+        assert_eq!(ok.cache_dir, PathBuf::from("c"));
+        assert!(GateArgs::parse(["--bogus".to_string()].into_iter()).is_err());
+        assert!(GateArgs::parse(["--baseline".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn collected_metrics_reproduce_and_gate_green_against_themselves() {
+        let dir = std::env::temp_dir().join(format!("phi-perfgate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = collect_metrics(&dir).unwrap();
+        let b = collect_metrics(&dir).unwrap();
+        assert_eq!(a, b, "gate metrics must be deterministic");
+        assert_eq!(a.len(), 7);
+        let reduction = a
+            .iter()
+            .find(|m| m.name == "patch_volume_reduction")
+            .unwrap();
+        assert!(
+            reduction.value >= 10.0,
+            "patch must cut redistribution volume >= 10x, got {}",
+            reduction.value
+        );
+        let base = parse_baseline(&baseline_json(&a)).unwrap();
+        assert!(compare(&base, &a, GATE_TOLERANCE).pass());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

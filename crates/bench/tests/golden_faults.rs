@@ -70,7 +70,7 @@ fn single_node_campaign_table_matches_golden() {
 fn cluster_campaign_table_matches_golden() {
     check_golden(
         "fault_campaign_cluster.txt",
-        &phi_bench::fault_campaign_cluster_render(SEED),
+        &phi_bench::fault_campaign_cluster_render(SEED, phi_fabric::RemapStrategy::default()),
     );
 }
 

@@ -6,7 +6,7 @@
 //! * [`level1`] — `idamax`, `dscal`, `daxpy`, `dswap`, `ddot`, `dcopy`.
 //! * [`level2`] — `dger` (the rank-1 update inside unblocked panel
 //!   factorization), `dgemv`, `dtrsv`.
-//! * [`gemm`] — the paper's DGEMM structure (Section III): the general
+//! * [`gemm`](mod@gemm) — the paper's DGEMM structure (Section III): the general
 //!   product decomposed into a sequence of rank-k outer products, operands
 //!   packed into the *Knights Corner-friendly* tile layout of Fig. 3
 //!   (`MR × k` column-major tiles of `A`, `k × NR` row-major tiles of `B`),

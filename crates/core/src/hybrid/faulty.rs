@@ -6,14 +6,19 @@
 //! [`Effects`] over the stage's time window and perturbs the calibrated
 //! machine models accordingly:
 //!
-//! * **Link degradation / latency jitter** — the stage's [`NetModel`] is
-//!   replaced by [`NetModel::degraded`], slowing the panel broadcast,
-//!   long swap and `U` broadcast.
-//! * **PCIe CRC-retry storms** — the offload model's [`PcieConfig`] is
-//!   replaced by [`PcieConfig::with_crc_stall`], with the per-DMA stall
-//!   amortized into a bandwidth derate at the strip-transfer cadence.
-//! * **Stragglers** — the card's [`KncChip`] is throttled through
-//!   [`KncChip::with_straggler`], dragging the trailing-update rate.
+//! * **Link degradation / latency jitter** — the stage's
+//!   [`NetModel`](phi_fabric::NetModel) is replaced by
+//!   [`NetModel::degraded`](phi_fabric::NetModel::degraded), slowing
+//!   the panel broadcast, long swap and `U` broadcast.
+//! * **PCIe CRC-retry storms** — the offload model's
+//!   [`PcieConfig`](phi_fabric::PcieConfig) is replaced by
+//!   [`PcieConfig::with_crc_stall`](phi_fabric::PcieConfig::with_crc_stall),
+//!   with the per-DMA stall amortized into a bandwidth derate at the
+//!   strip-transfer cadence.
+//! * **Stragglers** — the card's [`KncChip`](phi_knc::KncChip) is
+//!   throttled through
+//!   [`KncChip::with_straggler`](phi_knc::KncChip::with_straggler),
+//!   dragging the trailing-update rate.
 //! * **Card death** — permanent. Deaths take effect at the next panel
 //!   boundary: the run pays a recovery cost (checkpoint restore, or
 //!   replay of the in-flight stage when checkpointing is off, plus the
@@ -22,12 +27,27 @@
 //!   paper's dynamic work-division rebalance with the card share forced
 //!   to zero — and the factorization still completes.
 //! * **Host-rank death** — permanent, also applied at the next panel
-//!   boundary. The surviving ranks re-form a (possibly smaller)
-//!   [`ProcessGrid::fallback_grid`], the dead ranks' share of the
-//!   factored state is restored from panel checkpoints streamed over
-//!   the fabric (or recomputed outright when checkpointing is off), the
-//!   trailing matrix is redistributed to the new block-cyclic
-//!   ownership, and the factorization continues on the remapped grid.
+//!   boundary. Recovery remapping follows [`FtPolicy::remap`]:
+//!
+//!   * [`RemapStrategy::Patch`] (the default) is locality-preserving —
+//!     survivors keep their block ownership and only the dead ranks'
+//!     block-cyclic share of the trailing matrix moves
+//!     ([`ProcessGrid::patch_remap`]), roughly a `1/(P·Q)` fraction of
+//!     what a reshape would ship. The grid keeps its shape, so the
+//!     surviving ranks absorb the dead coordinates' work as a per-stage
+//!     [`ProcessGrid::patch_imbalance`] factor on the trailing update.
+//!     When deaths exceed the patchable budget (more than `size/8`
+//!     ranks down, mirroring the fallback grid's idle allowance) the
+//!     run degrades to a wholesale reshape from that boundary on.
+//!   * [`RemapStrategy::Wholesale`] re-forms a (possibly smaller)
+//!     [`ProcessGrid::fallback_grid`] and redistributes the whole
+//!     trailing matrix to the new block-cyclic ownership.
+//!
+//!   Either way the dead ranks' share of the factored state is restored
+//!   from panel checkpoints streamed over the fabric (or recomputed
+//!   outright when checkpointing is off) and the factorization
+//!   continues; the blocks shipped are reported as
+//!   [`FaultSummary::blocks_moved`].
 //!
 //! Panel-granular checkpointing ([`FtPolicy::checkpoint_panels`]) adds
 //! its write cost to every stage; that is the premium paid for cheap
@@ -45,8 +65,8 @@ use super::{
 };
 use crate::report::{FaultSummary, GigaflopsReport};
 use phi_des::{Kind, Trace};
-use phi_fabric::ProcessGrid;
-use phi_faults::{Effects, FaultPlan};
+use phi_fabric::{ProcessGrid, RemapStrategy};
+use phi_faults::{Effects, FaultKind, FaultPlan};
 
 /// Fault-tolerance policy of the run: what the cluster pays up front
 /// (checkpoints) and what recovery costs when a card dies.
@@ -63,9 +83,13 @@ pub struct FtPolicy {
     /// (draining queues, re-partitioning tiles, re-arming DMA).
     pub rebalance_s: f64,
     /// Per-link bandwidth at which the trailing matrix is redistributed
-    /// to the fallback grid after a host death, bytes/s. Survivors pull
-    /// in parallel, so the aggregate rate is `survivors ×` this.
+    /// after a host death, bytes/s. Survivors pull in parallel, so the
+    /// aggregate rate is `survivors ×` this.
     pub redistribution_bw: f64,
+    /// How surviving ranks re-own the dead ranks' blocks after a host
+    /// death: a locality-preserving patch (default) or a wholesale
+    /// reshape onto a fallback grid.
+    pub remap: RemapStrategy,
 }
 
 impl FtPolicy {
@@ -76,7 +100,14 @@ impl FtPolicy {
             checkpoint_bw: 8e9,
             rebalance_s: 0.25,
             redistribution_bw: 6.8e9,
+            remap: RemapStrategy::default(),
         }
+    }
+
+    /// The same policy with the given recovery remapping strategy.
+    pub fn with_remap(mut self, remap: RemapStrategy) -> Self {
+        self.remap = remap;
+        self
     }
 }
 
@@ -132,15 +163,18 @@ struct StageTimes {
 
 /// One stage of the hybrid loop — the same arithmetic as
 /// [`super::simulate_cluster`], parameterized by the surviving card
-/// count and the stage's aggregate fault effects. With
-/// `cards_avail == cfg.cards_per_node` and healthy effects this is
-/// bit-identical to the unfaulted stage.
+/// count, the stage's aggregate fault effects, and the patch-remap
+/// load imbalance (survivors carrying dead coordinates' trailing
+/// work). With `cards_avail == cfg.cards_per_node`, healthy effects
+/// and `imbalance == 1.0` this is bit-identical to the unfaulted stage
+/// (IEEE-754 multiplication by 1.0 is exact).
 fn stage_times(
     cfg: &HybridConfig,
     stage: usize,
     s: usize,
     cards_avail: usize,
     eff: &Effects,
+    imbalance: f64,
 ) -> StageTimes {
     let host = &cfg.offload.host;
     let (p, q) = (cfg.grid.p, cfg.grid.q);
@@ -208,6 +242,9 @@ fn stage_times(
             0.0,
         )
     };
+    // Patched-out ranks: each survivor shoulders `imbalance ×` its own
+    // trailing share (and its card stays busy proportionally longer).
+    let (t_update, busy) = (t_update * imbalance, busy * imbalance);
 
     // Look-ahead pre-update (mirrors `super::run_cluster`).
     let t_pre = if cards_avail > 0 && rows_loc > 0 {
@@ -294,6 +331,11 @@ pub fn simulate_cluster_faulty(
     let mut recovery_s = 0.0f64;
     let mut prev_update = 0.0f64;
     let mut weighted_cards = 0.0f64;
+    let mut blocks_moved = 0usize;
+    // Ranks patched out so far (grid shape kept), and whether deaths
+    // ever forced a wholesale reshape onto a fallback grid.
+    let mut patched_dead: Vec<usize> = Vec::new();
+    let mut reshaped = false;
 
     for stage in 0..s {
         let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
@@ -318,10 +360,11 @@ pub fn simulate_cluster_faulty(
         }
         let cards_avail = cfg.cards_per_node - deaths_applied;
 
-        // Host-rank deaths, also at panel boundaries: survivors re-form
-        // the grid, restore the dead ranks' factored state over the
-        // fabric (or recompute it without checkpoints) and redistribute
-        // the trailing matrix to the new block-cyclic ownership.
+        // Host-rank deaths, also at panel boundaries: restore the dead
+        // ranks' factored state over the fabric (or recompute it without
+        // checkpoints), then re-own their trailing blocks — patched in
+        // place or redistributed wholesale to a fallback grid, per
+        // `policy.remap`.
         let hosts_now = plan
             .effects_at(total)
             .hosts_lost
@@ -341,27 +384,70 @@ pub fn simulate_cluster_faulty(
                 // so far is recomputed by the survivors.
                 total * newly as f64 / cfg.grid.size() as f64
             };
-            let trailing = (cfg.n - factored_cols) as f64;
-            let redistribution =
-                8.0 * trailing * trailing / (survivors as f64 * policy.redistribution_bw);
+            // The patch stays viable while the cumulative death count
+            // fits the same 1/8 idle allowance the fallback grid
+            // tolerates; past that (or when reshaped already) survivors
+            // reshape wholesale.
+            let patchable = policy.remap == RemapStrategy::Patch
+                && !reshaped
+                && hosts_now <= cfg.grid.size() / 8;
+            let redistribution = if patchable {
+                // Locality-preserving patch: only the newly dead ranks'
+                // block-cyclic trailing share moves; everyone else's
+                // blocks stay put.
+                let dead_ranks: Vec<usize> = plan
+                    .events()
+                    .iter()
+                    .filter_map(|ev| match ev.kind {
+                        FaultKind::HostDeath { rank } => Some(rank % cfg.grid.size()),
+                        _ => None,
+                    })
+                    .collect();
+                let mut moved_elems = 0.0f64;
+                for &rank in &dead_ranks[hosts_applied..hosts_now] {
+                    if patched_dead.contains(&rank) {
+                        continue;
+                    }
+                    let remap = cfg.grid.patch_remap(rank);
+                    blocks_moved += remap.moved_trailing_blocks(stage, s);
+                    moved_elems += remap.moved_trailing_elements(stage, s, cfg.nb, cfg.n);
+                    patched_dead.push(rank);
+                }
+                8.0 * moved_elems / (survivors as f64 * policy.redistribution_bw)
+            } else {
+                // Wholesale reshape: the whole trailing matrix moves to
+                // the fallback grid's block-cyclic ownership.
+                reshaped = true;
+                blocks_moved += phi_fabric::PatchRemap::wholesale_trailing_blocks(stage, s);
+                cur.grid = ProcessGrid::fallback_grid(survivors);
+                let trailing = (cfg.n - factored_cols) as f64;
+                8.0 * trailing * trailing / (survivors as f64 * policy.redistribution_bw)
+            };
             let cost = newly as f64 * policy.rebalance_s + restore + redistribution;
             trace.record(2, total, total + cost, Kind::Recovery);
             total += cost;
             recovery_s += cost;
             hosts_applied = hosts_now;
-            cur.grid = ProcessGrid::fallback_grid(survivors);
         }
         if cards_avail < cfg.cards_per_node || hosts_applied > 0 {
             degraded_stages += 1;
         }
+        // Patched (not reshaped) grids run load-imbalanced: survivors
+        // carry the dead coordinates' trailing work. Exactly 1.0 with
+        // no patched deaths.
+        let imbalance = if reshaped {
+            1.0
+        } else {
+            cfg.grid.patch_imbalance(patched_dead.len())
+        };
 
         // Two-pass effects sampling: estimate the stage with healthy
         // models, then average the plan's transient windows over that
         // estimate. Deterministic, and exact when no window straddles
         // the stage boundary.
-        let est = stage_times(&cur, stage, s, cards_avail, &Effects::healthy());
+        let est = stage_times(&cur, stage, s, cards_avail, &Effects::healthy(), imbalance);
         let eff = plan.effects_over(total, total + est.stage_time);
-        let st = stage_times(&cur, stage, s, cards_avail, &eff);
+        let st = stage_times(&cur, stage, s, cards_avail, &eff, imbalance);
 
         trace.record(
             0,
@@ -427,7 +513,9 @@ pub fn simulate_cluster_faulty(
         events: plan.events().len(),
         cards_lost: deaths_applied,
         hosts_lost: hosts_applied,
-        fallback_grid: (hosts_applied > 0).then_some((cur.grid.p, cur.grid.q)),
+        fallback_grid: reshaped.then_some((cur.grid.p, cur.grid.q)),
+        remap: policy.remap,
+        blocks_moved,
         checkpoint_s,
         recovery_s,
         degraded_stages,
@@ -603,6 +691,66 @@ mod tests {
     }
 
     #[test]
+    fn patch_remap_keeps_grid_and_moves_a_fraction() {
+        // 4×8 grid (size/8 = 4): one host death patches in place.
+        let c = cfg(240_000, 4, 8, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t_kill = healthy.report.time_s / 3.0;
+        let plan = FaultPlan::none().with_event(t_kill, FaultKind::HostDeath { rank: 5 });
+        let patch = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        let whole = simulate_cluster_faulty(
+            &c,
+            &plan,
+            &FtPolicy::default().with_remap(RemapStrategy::Wholesale),
+            false,
+        );
+        let fp = patch.result.report.faults.unwrap();
+        let fw = whole.result.report.faults.unwrap();
+        assert_eq!(fp.remap, RemapStrategy::Patch);
+        assert_eq!(fw.remap, RemapStrategy::Wholesale);
+        // Patch keeps the 4×8 grid; wholesale reshapes to 31 survivors.
+        assert_eq!(fp.fallback_grid, None);
+        assert!(fw.fallback_grid.is_some());
+        // Redistribution volume shrinks by roughly the grid size.
+        assert!(fp.blocks_moved > 0);
+        assert!(
+            fw.blocks_moved >= 10 * fp.blocks_moved,
+            "patch moved {} vs wholesale {}",
+            fp.blocks_moved,
+            fw.blocks_moved
+        );
+        // And the patched run recovers no slower than the reshape.
+        assert!(fp.recovery_s <= fw.recovery_s);
+        // Both still cost time versus healthy, and both complete.
+        assert!(patch.result.report.time_s > healthy.report.time_s);
+        assert!(whole.result.report.time_s > healthy.report.time_s);
+    }
+
+    #[test]
+    fn patch_budget_exhaustion_degrades_to_wholesale() {
+        // 4×8 grid patches at most 4 dead ranks; a fifth death forces
+        // the wholesale reshape.
+        let c = cfg(240_000, 4, 8, 1);
+        let healthy = simulate_cluster(&c, false);
+        let mut plan = FaultPlan::none();
+        for rank in 0..5usize {
+            plan = plan.with_event(
+                healthy.report.time_s * (0.2 + 0.1 * rank as f64),
+                FaultKind::HostDeath { rank },
+            );
+        }
+        let ft = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        let f = ft.result.report.faults.unwrap();
+        assert_eq!(f.hosts_lost, 5);
+        assert_eq!(f.remap, RemapStrategy::Patch);
+        assert!(
+            f.fallback_grid.is_some(),
+            "5 > size/8 deaths must reshape wholesale"
+        );
+        assert!(ft.result.report.time_s > healthy.report.time_s);
+    }
+
+    #[test]
     fn checkpointed_host_restore_is_cheaper_than_recompute() {
         let c = cfg(168_000, 2, 2, 1);
         let healthy = simulate_cluster(&c, false);
@@ -625,11 +773,11 @@ mod tests {
             stall_s: 200e-6,
             duration_s: healthy.report.time_s / 4.0,
         };
-        let esc = phi_faults::Escalation {
-            kind: FaultKind::CardDeath { card: 0 },
-            delay_s: healthy.report.time_s / 8.0,
-            probability: 1.0,
-        };
+        let esc = phi_faults::Escalation::new(
+            FaultKind::CardDeath { card: 0 },
+            healthy.report.time_s / 8.0,
+            1.0,
+        );
         let plan = FaultPlan::none()
             .with_cascade(healthy.report.time_s / 3.0, storm, esc)
             .resolved(1, healthy.report.time_s * 2.0);

@@ -44,5 +44,6 @@ pub use hybrid::{
     WorkDivision,
 };
 pub use native::{NativeConfig, NativeScheme};
+pub use phi_fabric::RemapStrategy;
 pub use refine::{solve_mixed_precision, RefineResult};
 pub use report::{hpl_flops, FaultSummary, GigaflopsReport};

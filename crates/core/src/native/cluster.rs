@@ -15,7 +15,7 @@
 //! for energy efficiency; see [`crate::energy`] for that comparison.
 
 use crate::report::GigaflopsReport;
-use phi_fabric::{NetModel, ProcessGrid};
+use phi_fabric::{NetModel, PatchRemap, ProcessGrid, RemapStrategy};
 use phi_knc::{KncChip, LuTaskModel, Precision};
 
 /// Configuration of a native multi-node run.
@@ -151,6 +151,13 @@ pub fn single_card_max_n() -> usize {
 /// original grid shape (no fallback grid), which the summary reports
 /// as `fallback_grid: None`.
 ///
+/// `remap` prices how the dead nodes' trailing blocks reach their new
+/// owners over the fabric: [`RemapStrategy::Patch`] ships only the
+/// dead ranks' block-cyclic share ([`ProcessGrid::patch_remap`]),
+/// [`RemapStrategy::Wholesale`] re-ships the whole trailing matrix.
+/// Either volume is reported as
+/// [`crate::report::FaultSummary::blocks_moved`].
+///
 /// With an empty plan and `checkpoint: false` this is bit-identical to
 /// [`simulate_native_cluster`]; the returned report carries a
 /// [`crate::report::FaultSummary`] either way.
@@ -162,6 +169,7 @@ pub fn simulate_native_cluster_ft(
     cfg: &NativeClusterConfig,
     plan: &phi_faults::FaultPlan,
     checkpoint: bool,
+    remap: RemapStrategy,
 ) -> GigaflopsReport {
     let chip = cfg.tasks.gemm.chip;
     assert!(
@@ -183,25 +191,61 @@ pub fn simulate_native_cluster_ft(
     let mut checkpoint_s = 0.0f64;
     let mut recovery_s = 0.0f64;
     let mut prev_stage = 0.0f64;
+    let mut blocks_moved = 0usize;
+    let mut patched_dead: Vec<usize> = Vec::new();
 
     for stage in 0..s {
         let nb = cfg.nb.min(cfg.n - stage * cfg.nb);
         let m_panel_loc = ((cfg.n - stage * cfg.nb) / p).max(nb);
 
         // Node deaths surface at panel boundaries; survivors re-divide
-        // the dead node's share after restoring its mirrored panels.
+        // the dead node's share after restoring its mirrored panels and
+        // pulling its trailing blocks over the fabric (`remap` decides
+        // whether only that share moves or the whole trailing matrix is
+        // re-shipped).
         let e_now = plan.effects_at(total);
         let lost_now = (e_now.cards_lost + e_now.hosts_lost).min(size - 1);
         hosts_seen = hosts_seen.max(e_now.hosts_lost.min(lost_now));
         if lost_now > nodes_lost {
             let newly = lost_now - nodes_lost;
+            let survivors = size - lost_now;
             let restore = if checkpoint {
                 cfg.net.p2p(8.0 * (m_panel_loc * nb) as f64) + cfg.nic_hop_s
             } else {
                 prev_stage
             };
-            recovery_s += newly as f64 * restore;
-            total += newly as f64 * restore;
+            let redistribution = match remap {
+                RemapStrategy::Patch => {
+                    let dead_nodes: Vec<usize> = plan
+                        .events()
+                        .iter()
+                        .filter_map(|ev| match ev.kind {
+                            phi_faults::FaultKind::CardDeath { card } => Some(card % size),
+                            phi_faults::FaultKind::HostDeath { rank } => Some(rank % size),
+                            _ => None,
+                        })
+                        .collect();
+                    let mut moved_elems = 0.0f64;
+                    for &node in &dead_nodes[nodes_lost..lost_now] {
+                        if patched_dead.contains(&node) {
+                            continue;
+                        }
+                        let r = cfg.grid.patch_remap(node);
+                        blocks_moved += r.moved_trailing_blocks(stage, s);
+                        moved_elems += r.moved_trailing_elements(stage, s, cfg.nb, cfg.n);
+                        patched_dead.push(node);
+                    }
+                    8.0 * moved_elems / (survivors as f64 * cfg.net.bandwidth)
+                }
+                RemapStrategy::Wholesale => {
+                    blocks_moved += PatchRemap::wholesale_trailing_blocks(stage, s);
+                    let trailing = (cfg.n - (stage * cfg.nb).min(cfg.n)) as f64;
+                    8.0 * trailing * trailing / (survivors as f64 * cfg.net.bandwidth)
+                }
+            };
+            let cost = newly as f64 * restore + redistribution;
+            recovery_s += cost;
+            total += cost;
             nodes_lost = lost_now;
         }
         let survivors = size - nodes_lost;
@@ -238,6 +282,8 @@ pub fn simulate_native_cluster_ft(
         cards_lost: nodes_lost - hosts_seen,
         hosts_lost: hosts_seen,
         fallback_grid: None,
+        remap,
+        blocks_moved,
         checkpoint_s,
         recovery_s,
         degraded_stages,
@@ -338,7 +384,12 @@ mod tests {
     fn ft_zero_fault_no_checkpoint_is_bit_identical() {
         let cfg = NativeClusterConfig::new(60_000, 2, 2);
         let base = simulate_native_cluster(&cfg);
-        let ft = simulate_native_cluster_ft(&cfg, &phi_faults::FaultPlan::none(), false);
+        let ft = simulate_native_cluster_ft(
+            &cfg,
+            &phi_faults::FaultPlan::none(),
+            false,
+            RemapStrategy::default(),
+        );
         assert_eq!(ft.time_s.to_bits(), base.time_s.to_bits());
         assert_eq!(ft.gflops.to_bits(), base.gflops.to_bits());
         let f = ft.faults.unwrap();
@@ -352,14 +403,21 @@ mod tests {
         let base = simulate_native_cluster(&cfg);
         let plan =
             FaultPlan::none().with_event(base.time_s / 2.0, FaultKind::CardDeath { card: 0 });
-        let ft = simulate_native_cluster_ft(&cfg, &plan, true);
+        let ft = simulate_native_cluster_ft(&cfg, &plan, true, RemapStrategy::Patch);
         let f = ft.faults.unwrap();
         assert_eq!(f.cards_lost, 1);
         assert!(f.degraded_stages > 0);
         assert!(f.checkpoint_s > 0.0 && f.recovery_s > 0.0);
+        assert!(f.blocks_moved > 0, "the dead node's share must move");
         // Survivors carry 4/3 of the work for the tail: slower, but done.
         assert!(ft.time_s > base.time_s);
         assert!(f.overhead_fraction(ft.time_s) > 0.0);
+        // Wholesale re-ships the whole trailing matrix: strictly more
+        // volume, and recovery at least as slow.
+        let whole = simulate_native_cluster_ft(&cfg, &plan, true, RemapStrategy::Wholesale);
+        let fw = whole.faults.unwrap();
+        assert!(fw.blocks_moved > f.blocks_moved);
+        assert!(fw.recovery_s >= f.recovery_s);
     }
 
     #[test]
@@ -369,7 +427,7 @@ mod tests {
         let base = simulate_native_cluster(&cfg);
         let plan =
             FaultPlan::none().with_event(base.time_s / 2.0, FaultKind::HostDeath { rank: 2 });
-        let ft = simulate_native_cluster_ft(&cfg, &plan, true);
+        let ft = simulate_native_cluster_ft(&cfg, &plan, true, RemapStrategy::Patch);
         let f = ft.faults.unwrap();
         assert_eq!((f.cards_lost, f.hosts_lost), (0, 1));
         assert_eq!(f.fallback_grid, None);

@@ -1,6 +1,7 @@
 //! Result types shared by all Linpack flavours.
 
 use phi_des::Kind;
+use phi_fabric::RemapStrategy;
 
 /// The FLOP count HPL credits a solved `N × N` system with:
 /// `2/3 N³ + 3/2 N²` (factorization plus solve).
@@ -22,9 +23,18 @@ pub struct FaultSummary {
     pub cards_lost: usize,
     /// Host ranks permanently lost during the run.
     pub hosts_lost: usize,
-    /// Grid the survivors re-formed after the last host death, if any
-    /// rank died (`(p, q)` of the fallback grid).
+    /// Grid the survivors re-formed after the last host death — only
+    /// under a wholesale reshape (`(p, q)` of the fallback grid). A
+    /// locality-preserving patch keeps the original grid and reports
+    /// `None`.
     pub fallback_grid: Option<(usize, usize)>,
+    /// Recovery remapping strategy the run was configured with.
+    pub remap: RemapStrategy,
+    /// Total `nb × nb` trailing blocks redistributed across all host
+    /// deaths (the paper-table "redistribution volume" — a patch remap
+    /// moves only the dead ranks' block-cyclic share, a wholesale
+    /// reshape moves the whole trailing matrix).
+    pub blocks_moved: usize,
     /// Total panel-checkpoint time paid, seconds.
     pub checkpoint_s: f64,
     /// Total recovery time (restore + §V re-division), seconds.
@@ -136,6 +146,8 @@ mod tests {
             cards_lost: 1,
             hosts_lost: 0,
             fallback_grid: None,
+            remap: RemapStrategy::default(),
+            blocks_moved: 0,
             checkpoint_s: 0.5,
             recovery_s: 1.0,
             degraded_stages: 7,

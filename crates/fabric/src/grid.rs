@@ -6,6 +6,41 @@
 //! their `P` and `Q` ("the number of used nodes can be derived by
 //! multiplying P and Q"); the 100-node run is a 10 × 10 grid.
 
+/// How a cluster remaps block-cyclic ownership after a host-rank
+/// death.
+///
+/// The §V rebalance argument — minimize the data that moves on a
+/// reconfiguration — applies to recovery too: the MIC deployment
+/// studies (arXiv:1308.3123, arXiv:1310.5842) put fabric transfer
+/// volume at the top of exactly the cost regime our recovery constants
+/// live in, so the default strategy moves only what the dead rank
+/// owned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RemapStrategy {
+    /// Re-form the squarest [`ProcessGrid::fallback_grid`] the
+    /// survivors allow and redistribute the whole trailing matrix to
+    /// its block-cyclic ownership — every surviving rank's blocks move.
+    Wholesale,
+    /// Locality-preserving [`ProcessGrid::patch_remap`]: every
+    /// survivor's ownership stays fixed and only the dead rank's
+    /// block-cyclic share is dealt out round-robin — ~`P·Q×` less
+    /// modeled traffic, paid for with a mild per-rank load imbalance.
+    /// Falls back to [`RemapStrategy::Wholesale`] when the survivor
+    /// count forces a reshape (more than 1/8 of the grid dead).
+    #[default]
+    Patch,
+}
+
+impl RemapStrategy {
+    /// Short label for tables (`patch` / `whsl`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RemapStrategy::Wholesale => "whsl",
+            RemapStrategy::Patch => "patch",
+        }
+    }
+}
+
 /// Position of a process in the grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GridCoord {
@@ -117,6 +152,101 @@ impl ProcessGrid {
             }
         }
         best.0
+    }
+
+    /// Locality-preserving remap after the death of `dead_rank`: the
+    /// grid keeps its shape, every surviving rank keeps its block-cyclic
+    /// ownership, and only the dead rank's blocks are dealt out to the
+    /// survivors. The returned [`PatchRemap`] prices that move in O(1).
+    ///
+    /// # Panics
+    /// Panics when `dead_rank` is out of range or the grid has a single
+    /// process (nobody left to absorb the share).
+    pub fn patch_remap(&self, dead_rank: usize) -> PatchRemap {
+        assert!(dead_rank < self.size(), "rank {dead_rank} not in the grid");
+        assert!(self.size() > 1, "no survivors to patch onto");
+        PatchRemap {
+            grid: *self,
+            dead: self.coord(dead_rank),
+        }
+    }
+
+    /// Per-rank load factor on the trailing update after `dead` ranks
+    /// have been patched out: the survivors absorb the dead ranks'
+    /// block-cyclic share round-robin, so each carries
+    /// `size / (size − dead)` of its balanced load. `1.0` exactly when
+    /// nothing died.
+    ///
+    /// # Panics
+    /// Panics when `dead >= size` — a patched grid needs a survivor.
+    pub fn patch_imbalance(&self, dead: usize) -> f64 {
+        assert!(dead < self.size(), "patched out the whole grid");
+        self.size() as f64 / (self.size() - dead) as f64
+    }
+}
+
+/// Priced outcome of [`ProcessGrid::patch_remap`]: which blocks move
+/// when one rank's share is dealt out to the survivors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatchRemap {
+    /// The grid, shape unchanged — survivors keep their coordinates.
+    pub grid: ProcessGrid,
+    /// Coordinate of the rank whose blocks move.
+    pub dead: GridCoord,
+}
+
+impl PatchRemap {
+    /// Blocks of the trailing submatrix `first..nblocks` (in block
+    /// units, both dimensions) owned by the dead rank — exactly the
+    /// blocks a locality-preserving recovery moves. Closed form,
+    /// mirroring the trailing-count math the per-stage loop uses: the
+    /// dead rank owns the block rows `≡ dead.p (mod P)` crossed with
+    /// the block columns `≡ dead.q (mod Q)`.
+    pub fn moved_trailing_blocks(&self, first: usize, nblocks: usize) -> usize {
+        self.grid.trailing_blocks_row(self.dead.p, first, nblocks)
+            * self.grid.trailing_blocks_col(self.dead.q, first, nblocks)
+    }
+
+    /// Element-exact extent of the dead rank's trailing share of an
+    /// `n × n` matrix tiled in `nb × nb` blocks: the block counts of
+    /// [`Self::moved_trailing_blocks`] scaled to elements, with the
+    /// final partial block clipped to the matrix edge when the dead
+    /// coordinate owns it. Summed over all ranks this tiles the
+    /// trailing `(n - first·nb)²` elements exactly, so a patch never
+    /// ships more than a wholesale redistribution.
+    pub fn moved_trailing_elements(
+        &self,
+        first: usize,
+        nblocks: usize,
+        nb: usize,
+        n: usize,
+    ) -> f64 {
+        if nblocks == 0 {
+            return 0.0;
+        }
+        let overhang = (nblocks * nb).saturating_sub(n) as f64;
+        let rows = self.grid.trailing_blocks_row(self.dead.p, first, nblocks);
+        let cols = self.grid.trailing_blocks_col(self.dead.q, first, nblocks);
+        let rows_e = (rows * nb) as f64
+            - if rows > 0 && self.grid.owner_row(nblocks - 1) == self.dead.p {
+                overhang
+            } else {
+                0.0
+            };
+        let cols_e = (cols * nb) as f64
+            - if cols > 0 && self.grid.owner_col(nblocks - 1) == self.dead.q {
+                overhang
+            } else {
+                0.0
+            };
+        rows_e * cols_e
+    }
+
+    /// Blocks a wholesale redistribution of the same trailing
+    /// submatrix moves: all of them.
+    pub fn wholesale_trailing_blocks(first: usize, nblocks: usize) -> usize {
+        let t = nblocks.saturating_sub(first);
+        t * t
     }
 }
 
@@ -244,5 +374,75 @@ mod tests {
     #[should_panic(expected = "no survivors")]
     fn fallback_grid_rejects_zero() {
         ProcessGrid::fallback_grid(0);
+    }
+
+    #[test]
+    fn patch_remap_counts_match_exhaustive_filter() {
+        for (p, q) in [(2usize, 2usize), (3, 4), (10, 10)] {
+            let g = ProcessGrid::new(p, q);
+            for rank in [0, g.size() / 2, g.size() - 1] {
+                let r = g.patch_remap(rank);
+                for (first, nblocks) in [(0usize, 25usize), (7, 31), (30, 30), (29, 30)] {
+                    let want = (first..nblocks).filter(|&i| i % p == r.dead.p).count()
+                        * (first..nblocks).filter(|&j| j % q == r.dead.q).count();
+                    assert_eq!(
+                        r.moved_trailing_blocks(first, nblocks),
+                        want,
+                        "{p}x{q} rank {rank} [{first}, {nblocks})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_moves_a_grid_size_fraction_of_wholesale() {
+        // On the Table III 10×10 grid the dead rank owns 1/100 of the
+        // trailing blocks: the locality-preserving remap moves ~P·Q×
+        // less than a wholesale redistribution.
+        let g = ProcessGrid::new(10, 10);
+        let r = g.patch_remap(42);
+        let (first, nblocks) = (200, 860);
+        let moved = r.moved_trailing_blocks(first, nblocks);
+        let wholesale = PatchRemap::wholesale_trailing_blocks(first, nblocks);
+        assert!(moved > 0);
+        let ratio = wholesale as f64 / moved as f64;
+        assert!(
+            (90.0..=110.0).contains(&ratio),
+            "expected ~100x reduction, got {ratio:.1}x"
+        );
+        // Summed over every rank, the per-rank shares tile the trailing
+        // submatrix exactly.
+        let total: usize = (0..g.size())
+            .map(|k| g.patch_remap(k).moved_trailing_blocks(first, nblocks))
+            .sum();
+        assert_eq!(total, wholesale);
+    }
+
+    #[test]
+    fn patch_imbalance_is_identity_then_grows() {
+        let g = ProcessGrid::new(10, 10);
+        assert_eq!(g.patch_imbalance(0).to_bits(), 1.0f64.to_bits());
+        assert!((g.patch_imbalance(1) - 100.0 / 99.0).abs() < 1e-15);
+        assert!(g.patch_imbalance(12) > g.patch_imbalance(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the grid")]
+    fn patch_remap_rejects_foreign_rank() {
+        ProcessGrid::new(2, 2).patch_remap(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no survivors to patch")]
+    fn patch_remap_rejects_singleton_grid() {
+        ProcessGrid::new(1, 1).patch_remap(0);
+    }
+
+    #[test]
+    fn remap_strategy_default_and_labels() {
+        assert_eq!(RemapStrategy::default(), RemapStrategy::Patch);
+        assert_eq!(RemapStrategy::Patch.label(), "patch");
+        assert_eq!(RemapStrategy::Wholesale.label(), "whsl");
     }
 }

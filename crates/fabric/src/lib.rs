@@ -21,6 +21,6 @@ pub mod grid;
 pub mod net;
 pub mod pcie;
 
-pub use grid::{GridCoord, ProcessGrid};
+pub use grid::{GridCoord, PatchRemap, ProcessGrid, RemapStrategy};
 pub use net::{BcastScheme, NetModel};
 pub use pcie::{MmQueue, PcieConfig, PcieLink};

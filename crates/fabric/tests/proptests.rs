@@ -165,3 +165,55 @@ fn queue_visibility_monotone() {
         assert!(q.is_empty());
     }
 }
+
+/// The per-rank patch-remap shares tile every trailing submatrix
+/// exactly, and each share is the O(1) closed form — for any grid,
+/// window and rank.
+#[test]
+fn patch_remap_shares_tile_the_trailing_matrix() {
+    use phi_fabric::PatchRemap;
+    let mut cases = Cases(0xBA7C);
+    for _ in 0..96 {
+        let p = cases.index(1, 9);
+        let q = cases.index(1, 9);
+        let g = ProcessGrid::new(p, q);
+        if g.size() < 2 {
+            continue;
+        }
+        let nblocks = cases.index(1, 120);
+        let first = cases.index(0, nblocks + 1);
+        let wholesale = PatchRemap::wholesale_trailing_blocks(first, nblocks);
+        let mut total = 0usize;
+        for rank in 0..g.size() {
+            let r = g.patch_remap(rank);
+            let moved = r.moved_trailing_blocks(first, nblocks);
+            let want = (first..nblocks).filter(|&i| i % p == r.dead.p).count()
+                * (first..nblocks).filter(|&j| j % q == r.dead.q).count();
+            assert_eq!(moved, want, "{p}x{q} rank {rank} [{first}, {nblocks})");
+            total += moved;
+        }
+        assert_eq!(total, wholesale, "{p}x{q} [{first}, {nblocks})");
+    }
+}
+
+/// Patch imbalance is exactly 1 with zero deaths, strictly increasing
+/// in the death count, and bounded by the wholesale reshape's own
+/// worst case while the patch path still applies (≤ 1/8 dead).
+#[test]
+fn patch_imbalance_monotone_and_bounded() {
+    let mut cases = Cases(0x1B1A5);
+    for _ in 0..64 {
+        let p = cases.index(1, 12);
+        let q = cases.index(2, 12);
+        let g = ProcessGrid::new(p, q);
+        assert_eq!(g.patch_imbalance(0).to_bits(), 1.0f64.to_bits());
+        let mut prev = 1.0;
+        for dead in 1..=g.size() / 8 {
+            let f = g.patch_imbalance(dead);
+            assert!(f > prev, "{p}x{q} dead {dead}");
+            // 1/8 of the grid dead costs at most 8/7 per survivor.
+            assert!(f <= 8.0 / 7.0 + 1e-12, "{p}x{q} dead {dead}: {f}");
+            prev = f;
+        }
+    }
+}

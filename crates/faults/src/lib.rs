@@ -23,13 +23,22 @@
 //! [`Escalation`] edge (`escalates_to`): a transient fault that, with
 //! some probability, worsens into a second fault after a delay — a PCIe
 //! CRC storm retraining itself into a dead card, a flapping rail
-//! escalating into a lost host rank. Edges are *resolved* once, by
-//! [`FaultPlan::resolved`], with a seeded draw per edge: a firing edge
-//! appends the escalated event to the plan as a concrete, causally
-//! linked occurrence. The fingerprint covers both the edge and the
-//! spawned event, so a cascade replays as one causal unit under one
-//! fingerprint, and resolution never schedules anything at or past the
-//! horizon.
+//! escalating into a lost host rank. Edges chain: an escalation may
+//! itself carry a next hop ([`Escalation::then`]), so a storm can burn
+//! out its card *and* the dead card can take its host down — a
+//! multi-hop chain declared as one causal unit. Edges are *resolved*,
+//! by [`FaultPlan::resolved`], with a seeded draw per edge: a firing
+//! edge appends the escalated event (carrying the remaining chain) to
+//! the plan as a concrete, causally linked occurrence, and resolution
+//! recurses to a fixed point — bounded by [`MAX_CASCADE_DEPTH`] hops
+//! and guarded against re-spawning an event already in the plan, so it
+//! can never loop. The fingerprint covers every edge of every chain
+//! plus the spawned events, so a cascade replays as one causal unit
+//! under one fingerprint, and resolution never schedules anything at
+//! or past the horizon: an escalation landing at **exactly** the
+//! horizon is dropped (`at_s >= horizon_s`), keeping
+//! [`FaultPlan::effects_over`] over `[0, horizon)` and the resolved
+//! event list in agreement.
 
 #![forbid(unsafe_code)]
 
@@ -46,6 +55,13 @@ const FNV_PRIME: u64 = 0x100000001b3;
 /// Salt XORed into a campaign seed before escalation resolution, so the
 /// per-edge resolution draws never alias the event-parameter draws.
 const ESCALATION_SALT: u64 = 0xe5ca_1a7e_0ca5_cade;
+
+/// Upper bound on the hops a cascade chain may resolve through: a
+/// depth guard on [`FaultPlan::resolved`]'s fixed-point recursion.
+/// Real chains are 2–3 hops (storm → card → host); eight is comfortably
+/// past anything physical while keeping a malformed self-feeding plan
+/// finite.
+pub const MAX_CASCADE_DEPTH: usize = 8;
 
 /// FNV-1a over the little-endian bytes of `x`, folded into `h`.
 fn fnv_mix(h: &mut u64, x: u64) {
@@ -91,18 +107,28 @@ fn mix_kind(h: &mut u64, kind: &FaultKind) {
     }
 }
 
-/// A content hash of one event (onset + kind + escalation edge), used
-/// to key the per-edge resolution draw: identical events draw
+/// Folds an escalation edge — and, recursively, the rest of its chain —
+/// into `h`. Single-hop edges mix exactly the bytes the pre-chain
+/// format did, keeping historical digests stable.
+fn mix_esc(h: &mut u64, esc: &Escalation) {
+    fnv_mix(h, 0xe5c);
+    mix_kind(h, &esc.kind);
+    fnv_mix(h, esc.delay_s.to_bits());
+    fnv_mix(h, esc.probability.to_bits());
+    if let Some(next) = &esc.then {
+        mix_esc(h, next);
+    }
+}
+
+/// A content hash of one event (onset + kind + full escalation chain),
+/// used to key the per-edge resolution draw: identical events draw
 /// identically no matter where they sit in the plan.
 fn event_hash(ev: &FaultEvent) -> u64 {
     let mut h = FNV_OFFSET;
     fnv_mix(&mut h, ev.at_s.to_bits());
     mix_kind(&mut h, &ev.kind);
-    if let Some(esc) = ev.escalates_to {
-        fnv_mix(&mut h, 0xe5c);
-        mix_kind(&mut h, &esc.kind);
-        fnv_mix(&mut h, esc.delay_s.to_bits());
-        fnv_mix(&mut h, esc.probability.to_bits());
+    if let Some(esc) = &ev.escalates_to {
+        mix_esc(&mut h, esc);
     }
     h
 }
@@ -208,9 +234,13 @@ impl FaultKind {
 
 /// A correlated-failure edge: the owning event escalates into `kind`
 /// after `delay_s`, with probability `probability`, when the plan is
-/// [`FaultPlan::resolved`]. All fields are concrete; the only
-/// randomness is the single seeded draw at resolution time.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// [`FaultPlan::resolved`]. A chain continues through [`then`]: the
+/// spawned event inherits the tail of the chain and resolves it in
+/// turn (storm → card → host). All fields are concrete; the only
+/// randomness is one seeded draw per edge at resolution time.
+///
+/// [`then`]: Escalation::then
+#[derive(Clone, Debug, PartialEq)]
 pub struct Escalation {
     /// The fault the owning event escalates into.
     pub kind: FaultKind,
@@ -219,10 +249,58 @@ pub struct Escalation {
     pub delay_s: f64,
     /// Probability in `[0, 1]` that the edge fires at resolution.
     pub probability: f64,
+    /// Next hop of the chain, carried by the spawned event; `None`
+    /// terminates the chain.
+    pub then: Option<Box<Escalation>>,
+}
+
+impl Escalation {
+    /// A single-hop edge (no chain).
+    pub fn new(kind: FaultKind, delay_s: f64, probability: f64) -> Self {
+        Self {
+            kind,
+            delay_s,
+            probability,
+            then: None,
+        }
+    }
+
+    /// Appends `next` at the end of the chain (builder style), so
+    /// `a.chain(b).chain(c)` reads in causal order: the owning event
+    /// escalates into `a`, which escalates into `b`, then `c`.
+    pub fn chain(mut self, next: Escalation) -> Self {
+        self.push_tail(next);
+        self
+    }
+
+    fn push_tail(&mut self, next: Escalation) {
+        match &mut self.then {
+            Some(tail) => tail.push_tail(next),
+            None => self.then = Some(Box::new(next)),
+        }
+    }
+
+    /// Hops in this chain, the terminal edge included (≥ 1).
+    pub fn hops(&self) -> usize {
+        1 + self.then.as_ref().map_or(0, |t| t.hops())
+    }
+
+    /// Clips the chain to at most `depth` hops. Plan construction
+    /// applies this with [`MAX_CASCADE_DEPTH`], so the depth bound is a
+    /// property of the *declared* plan — which keeps resolution a true
+    /// fixed point (a spawned event's tail is always a suffix of an
+    /// already-clipped chain).
+    fn clip(&mut self, depth: usize) {
+        if depth <= 1 {
+            self.then = None;
+        } else if let Some(tail) = &mut self.then {
+            tail.clip(depth - 1);
+        }
+    }
 }
 
 /// A fault scheduled at an absolute simulated time.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultEvent {
     /// Onset, seconds of simulated time.
     pub at_s: f64,
@@ -310,8 +388,16 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// A plan from explicit events (kept sorted by onset).
+    /// A plan from explicit events (kept sorted by onset). Escalation
+    /// chains deeper than [`MAX_CASCADE_DEPTH`] are clipped here, at
+    /// declaration, so every plan satisfies the depth bound by
+    /// construction.
     pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        for ev in &mut events {
+            if let Some(esc) = &mut ev.escalates_to {
+                esc.clip(MAX_CASCADE_DEPTH);
+            }
+        }
         events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
         Self { events }
     }
@@ -420,18 +506,29 @@ impl FaultPlan {
                     None,
                 ),
                 6 => (
-                    // A CRC storm that may burn out the card it storms on.
+                    // A CRC storm that may burn out the card it storms
+                    // on — and the dead card may then take its whole
+                    // host down (the 3-hop storm → card → host chain).
                     FaultKind::PcieCrcStorm {
                         stall_s: rng.range(50e-6, 400e-6),
                         duration_s: window,
                     },
-                    Some(Escalation {
-                        kind: FaultKind::CardDeath {
-                            card: rng.index(0, cards_per_node.max(1)),
-                        },
-                        delay_s: rng.range(0.0, 0.1) * horizon_s,
-                        probability: rng.range(0.25, 1.0),
-                    }),
+                    Some(
+                        Escalation::new(
+                            FaultKind::CardDeath {
+                                card: rng.index(0, cards_per_node.max(1)),
+                            },
+                            rng.range(0.0, 0.1) * horizon_s,
+                            rng.range(0.25, 1.0),
+                        )
+                        .chain(Escalation::new(
+                            FaultKind::HostDeath {
+                                rank: rng.index(0, nodes),
+                            },
+                            rng.range(0.0, 0.1) * horizon_s,
+                            rng.range(0.25, 1.0),
+                        )),
+                    ),
                 ),
                 _ => (
                     // A flapping rail that may take its host down with it.
@@ -439,13 +536,13 @@ impl FaultPlan {
                         factor: rng.range(0.1, 0.5),
                         duration_s: window,
                     },
-                    Some(Escalation {
-                        kind: FaultKind::HostDeath {
+                    Some(Escalation::new(
+                        FaultKind::HostDeath {
                             rank: rng.index(0, nodes),
                         },
-                        delay_s: rng.range(0.0, 0.1) * horizon_s,
-                        probability: rng.range(0.25, 1.0),
-                    }),
+                        rng.range(0.0, 0.1) * horizon_s,
+                        rng.range(0.25, 1.0),
+                    )),
                 ),
             };
             events.push(FaultEvent {
@@ -473,38 +570,67 @@ impl FaultPlan {
         })
     }
 
-    /// Adds a fully-specified event (builder style), keeping onset order.
+    /// Adds a fully-specified event (builder style), keeping onset
+    /// order and the construction-time chain clipping.
     pub fn with_fault_event(mut self, ev: FaultEvent) -> Self {
         self.events.push(ev);
-        self.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
-        self
+        Self::from_events(self.events)
     }
 
-    /// Resolves every escalation edge with one seeded draw each: a
-    /// firing edge appends its escalated fault as a concrete event at
-    /// `parent.at_s + delay_s`, provided that onset lies strictly
-    /// before `horizon_s` — cascades never schedule anything at or past
-    /// the horizon. The draw is keyed on `seed` and the parent event's
-    /// own hash, so resolution is independent of event order and
-    /// idempotent: resolving an already-resolved plan with the same
-    /// seed changes nothing.
+    /// Resolves every escalation chain to a fixed point, with one
+    /// seeded draw per edge: a firing edge appends its escalated fault
+    /// as a concrete event at `parent.at_s + delay_s` carrying the
+    /// rest of the chain, and the spawned event's own edge resolves in
+    /// the next round — recursively, until no unresolved edge remains.
+    /// The recursion is bounded by construction: chains are clipped to
+    /// [`MAX_CASCADE_DEPTH`] hops when the plan is built, and every
+    /// spawned tail is strictly shorter than its parent's chain, so
+    /// the fixed point arrives within that many rounds. Spawned onsets
+    /// must lie strictly before `horizon_s`: an escalation landing at
+    /// *exactly* the horizon is dropped (and with it the rest of its
+    /// chain) — cascades never schedule anything at or past the
+    /// horizon.
+    ///
+    /// Each draw is keyed on `seed` and the drawing event's own
+    /// content hash, so resolution is independent of event order,
+    /// deterministic, and idempotent: resolving an already-resolved
+    /// plan with the same seed changes nothing. An edge whose spawned
+    /// event already exists in the plan, chain and all, fires into it
+    /// (no duplicate is appended) — together with the depth clipping
+    /// this is the cycle guard: a self-feeding chain re-deriving the
+    /// same event converges instead of looping.
     pub fn resolved(&self, seed: u64, horizon_s: f64) -> Self {
         assert!(horizon_s > 0.0, "degenerate horizon");
         let mut out = self.events.clone();
-        for ev in &self.events {
-            let Some(esc) = ev.escalates_to else { continue };
-            let mut rng = FaultRng::new(seed ^ event_hash(ev));
-            if rng.unit() >= esc.probability {
-                continue;
+        let mut frontier = self.events.clone();
+        for _hop in 0..MAX_CASCADE_DEPTH {
+            let mut next = Vec::new();
+            for ev in &frontier {
+                let Some(esc) = &ev.escalates_to else {
+                    continue;
+                };
+                let mut rng = FaultRng::new(seed ^ event_hash(ev));
+                if rng.unit() >= esc.probability {
+                    continue;
+                }
+                let at_s = ev.at_s + esc.delay_s;
+                if at_s >= horizon_s {
+                    continue;
+                }
+                let spawned = FaultEvent {
+                    at_s,
+                    kind: esc.kind,
+                    escalates_to: esc.then.as_deref().cloned(),
+                };
+                if !out.contains(&spawned) {
+                    out.push(spawned.clone());
+                    next.push(spawned);
+                }
             }
-            let at_s = ev.at_s + esc.delay_s;
-            if at_s >= horizon_s {
-                continue;
+            if next.is_empty() {
+                break;
             }
-            let spawned = FaultEvent::new(at_s, esc.kind);
-            if !out.contains(&spawned) {
-                out.push(spawned);
-            }
+            frontier = next;
         }
         Self::from_events(out)
     }
@@ -656,23 +782,20 @@ impl FaultPlan {
             .count()
     }
 
-    /// FNV-1a over the exact bit patterns of every event, including any
-    /// escalation edge — two plans fingerprint equal iff they schedule
-    /// identical faults with identical cascade structure. A resolved
-    /// cascade (edge + spawned event) therefore carries one fingerprint
-    /// distinct from the same faults arriving uncorrelated.
+    /// FNV-1a over the exact bit patterns of every event, including
+    /// every hop of any escalation chain — two plans fingerprint equal
+    /// iff they schedule identical faults with identical cascade
+    /// structure. A resolved cascade (edges + spawned events)
+    /// therefore carries one fingerprint distinct from the same faults
+    /// arriving uncorrelated; edge-free and single-hop plans keep
+    /// their historical digests.
     pub fn fingerprint(&self) -> u64 {
         let mut h = FNV_OFFSET;
         for ev in &self.events {
             fnv_mix(&mut h, ev.at_s.to_bits());
             mix_kind(&mut h, &ev.kind);
-            if let Some(esc) = ev.escalates_to {
-                // Marker byte keeps edge-free plans on their historical
-                // digests while separating `Some` from a following event.
-                fnv_mix(&mut h, 0xe5c);
-                mix_kind(&mut h, &esc.kind);
-                fnv_mix(&mut h, esc.delay_s.to_bits());
-                fnv_mix(&mut h, esc.probability.to_bits());
+            if let Some(esc) = &ev.escalates_to {
+                mix_esc(&mut h, esc);
             }
         }
         h
@@ -826,11 +949,7 @@ mod tests {
             .with_cascade(
                 10.0,
                 storm,
-                Escalation {
-                    kind: FaultKind::CardDeath { card: 0 },
-                    delay_s: 2.0,
-                    probability: 1.0,
-                },
+                Escalation::new(FaultKind::CardDeath { card: 0 }, 2.0, 1.0),
             )
             .resolved(99, 100.0);
         assert_eq!(certain.total_card_deaths(), 1);
@@ -840,11 +959,7 @@ mod tests {
             .with_cascade(
                 10.0,
                 storm,
-                Escalation {
-                    kind: FaultKind::CardDeath { card: 0 },
-                    delay_s: 2.0,
-                    probability: 0.0,
-                },
+                Escalation::new(FaultKind::CardDeath { card: 0 }, 2.0, 0.0),
             )
             .resolved(99, 100.0);
         assert_eq!(never.total_card_deaths(), 0);
@@ -859,11 +974,9 @@ mod tests {
                     factor: 0.2,
                     duration_s: 5.0,
                 },
-                Escalation {
-                    kind: FaultKind::HostDeath { rank: 0 },
-                    delay_s: 10.0, // lands exactly at the horizon
-                    probability: 1.0,
-                },
+                // Lands exactly at the horizon: dropped by the pinned
+                // `at_s >= horizon_s` semantics.
+                Escalation::new(FaultKind::HostDeath { rank: 0 }, 10.0, 1.0),
             )
             .resolved(7, 100.0);
         assert_eq!(p.total_host_deaths(), 0);
@@ -877,11 +990,7 @@ mod tests {
                 stall_s: 2e-4,
                 duration_s: 4.0,
             },
-            escalates_to: Some(Escalation {
-                kind: FaultKind::CardDeath { card: 1 },
-                delay_s: 1.0,
-                probability: 0.9,
-            }),
+            escalates_to: Some(Escalation::new(FaultKind::CardDeath { card: 1 }, 1.0, 0.9)),
         };
         let b = FaultEvent {
             at_s: 20.0,
@@ -889,13 +998,9 @@ mod tests {
                 factor: 0.3,
                 duration_s: 6.0,
             },
-            escalates_to: Some(Escalation {
-                kind: FaultKind::HostDeath { rank: 3 },
-                delay_s: 2.0,
-                probability: 0.9,
-            }),
+            escalates_to: Some(Escalation::new(FaultKind::HostDeath { rank: 3 }, 2.0, 0.9)),
         };
-        let fwd = FaultPlan::from_events(vec![a, b]).resolved(11, 100.0);
+        let fwd = FaultPlan::from_events(vec![a.clone(), b.clone()]).resolved(11, 100.0);
         let rev = FaultPlan::from_events(vec![b, a]).resolved(11, 100.0);
         assert_eq!(fwd, rev);
         assert_eq!(fwd.fingerprint(), rev.fingerprint());
@@ -913,13 +1018,20 @@ mod tests {
         let edged = FaultPlan::none().with_cascade(
             10.0,
             storm,
-            Escalation {
-                kind: FaultKind::CardDeath { card: 0 },
-                delay_s: 2.0,
-                probability: 0.5,
-            },
+            Escalation::new(FaultKind::CardDeath { card: 0 }, 2.0, 0.5),
         );
         assert_ne!(plain.fingerprint(), edged.fingerprint());
+        // A chained second hop changes the digest again.
+        let chained = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation::new(FaultKind::CardDeath { card: 0 }, 2.0, 0.5).chain(Escalation::new(
+                FaultKind::HostDeath { rank: 0 },
+                1.0,
+                0.5,
+            )),
+        );
+        assert_ne!(edged.fingerprint(), chained.fingerprint());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! crate: the generator is the workspace's own [`FaultRng`], so every
 //! "random" case replays bit-identically from the seeds below.
 
-use phi_faults::{Escalation, FaultEvent, FaultKind, FaultPlan, FaultRng};
+use phi_faults::{Escalation, FaultEvent, FaultKind, FaultPlan, FaultRng, MAX_CASCADE_DEPTH};
 
 /// Draws one random event (possibly carrying an escalation edge).
 fn random_event(rng: &mut FaultRng, horizon: f64) -> FaultEvent {
@@ -35,21 +35,28 @@ fn random_event(rng: &mut FaultRng, horizon: f64) -> FaultEvent {
     };
     let mut ev = FaultEvent::new(at_s, kind);
     if rng.unit() < 0.4 {
-        ev.escalates_to = Some(Escalation {
-            kind: if rng.unit() < 0.5 {
-                FaultKind::CardDeath {
-                    card: rng.index(0, 4),
-                }
-            } else {
-                FaultKind::HostDeath {
-                    rank: rng.index(0, 100),
-                }
-            },
-            delay_s: rng.range(0.0, 0.5) * horizon,
-            probability: rng.unit(),
-        });
+        let mut esc = random_escalation(rng, horizon);
+        // Sometimes grow a multi-hop chain behind the first edge.
+        while rng.unit() < 0.35 {
+            esc = esc.chain(random_escalation(rng, horizon));
+        }
+        ev.escalates_to = Some(esc);
     }
     ev
+}
+
+/// One random escalation edge (no tail).
+fn random_escalation(rng: &mut FaultRng, horizon: f64) -> Escalation {
+    let kind = if rng.unit() < 0.5 {
+        FaultKind::CardDeath {
+            card: rng.index(0, 4),
+        }
+    } else {
+        FaultKind::HostDeath {
+            rank: rng.index(0, 100),
+        }
+    };
+    Escalation::new(kind, rng.range(0.0, 0.5) * horizon, rng.unit())
 }
 
 /// Fisher–Yates driven by the same deterministic stream.
@@ -198,6 +205,148 @@ fn resolution_is_deterministic_idempotent_and_order_free() {
         }
         let damped = FaultPlan::from_events(damp.clone()).resolved(seed, horizon);
         assert_eq!(damped.events().len(), damp.len());
+    }
+}
+
+/// Builds a deliberately long (possibly cyclic-looking) chain: every
+/// hop fires with probability 1 after a short delay, and the kinds
+/// repeat so only the cycle guard keeps resolution from re-spawning.
+fn certain_chain(rng: &mut FaultRng, hops: usize) -> Escalation {
+    let mut esc = Escalation::new(
+        FaultKind::CardDeath {
+            card: rng.index(0, 2),
+        },
+        0.5,
+        1.0,
+    );
+    for i in 1..hops {
+        let kind = if i % 2 == 0 {
+            FaultKind::CardDeath {
+                card: rng.index(0, 2),
+            }
+        } else {
+            FaultKind::HostDeath {
+                rank: rng.index(0, 3),
+            }
+        };
+        esc = esc.chain(Escalation::new(kind, 0.5, 1.0));
+    }
+    esc
+}
+
+/// Re-resolving a resolved plan — under the same seed or any other —
+/// is a fixed point even when the declared chains are recursive.
+#[test]
+fn recursive_resolution_reaches_a_fixed_point() {
+    for seed in [10u64, 0xF1CED, 0xFA0175] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(50.0, 400.0);
+        let mut events: Vec<FaultEvent> = (0..8).map(|_| random_event(&mut rng, horizon)).collect();
+        // Guarantee at least one deep chain is present.
+        events[0].escalates_to = Some(certain_chain(&mut rng, 2 * MAX_CASCADE_DEPTH));
+        let once = FaultPlan::from_events(events).resolved(seed, horizon);
+        assert_eq!(once.resolved(seed, horizon), once, "seed {seed}");
+        // Rebuilding the resolved plan from its own event list and
+        // resolving again lands on the same fixed point.
+        let rebuilt = FaultPlan::from_events(once.events().to_vec());
+        assert_eq!(rebuilt.resolved(seed, horizon), once, "seed {seed}");
+    }
+}
+
+/// No declared chain — however long — spawns more than
+/// `MAX_CASCADE_DEPTH` descendants from a single root.
+#[test]
+fn cascade_depth_is_bounded() {
+    for seed in [11u64, 0xDEE9, 0xB0B] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = 1e6; // far away: the horizon never clips the chain
+        let root = FaultEvent {
+            at_s: 1.0,
+            kind: FaultKind::PcieCrcStorm {
+                stall_s: 1e-4,
+                duration_s: 2.0,
+            },
+            escalates_to: Some(certain_chain(&mut rng, 5 * MAX_CASCADE_DEPTH)),
+        };
+        let plan = FaultPlan::from_events(vec![root]);
+        // Construction already clips the declared chain...
+        for ev in plan.events() {
+            if let Some(esc) = &ev.escalates_to {
+                assert!(esc.hops() <= MAX_CASCADE_DEPTH, "seed {seed}");
+            }
+        }
+        // ...so resolution spawns at most MAX_CASCADE_DEPTH events.
+        let resolved = plan.resolved(seed, horizon);
+        assert!(
+            resolved.events().len() <= 1 + MAX_CASCADE_DEPTH,
+            "seed {seed}: {} events",
+            resolved.events().len()
+        );
+        assert_eq!(resolved.resolved(seed, horizon), resolved);
+    }
+}
+
+/// Chains whose hops repeat the same kinds terminate: the duplicate
+/// guard drops re-spawned events instead of looping, and resolution
+/// always lands on a finite, idempotent plan.
+#[test]
+fn cycle_guard_never_loops() {
+    for seed in [12u64, 0xC1C1E, 7] {
+        // Two roots whose chains re-spawn each other's kinds at the
+        // same timestamps — the classic ping-pong cycle shape.
+        let a = FaultEvent {
+            at_s: 1.0,
+            kind: FaultKind::CardDeath { card: 0 },
+            escalates_to: Some(
+                Escalation::new(FaultKind::HostDeath { rank: 0 }, 1.0, 1.0)
+                    .chain(Escalation::new(FaultKind::CardDeath { card: 0 }, 1.0, 1.0))
+                    .chain(Escalation::new(FaultKind::HostDeath { rank: 0 }, 1.0, 1.0)),
+            ),
+        };
+        let b =
+            FaultEvent {
+                at_s: 2.0,
+                kind: FaultKind::HostDeath { rank: 0 },
+                escalates_to: Some(
+                    Escalation::new(FaultKind::CardDeath { card: 0 }, 1.0, 1.0)
+                        .chain(Escalation::new(FaultKind::HostDeath { rank: 0 }, 1.0, 1.0)),
+                ),
+            };
+        let resolved = FaultPlan::from_events(vec![a, b]).resolved(seed, 1e6);
+        // Finite and small: the two declared chains can spawn at most
+        // their own hops, duplicates dropped.
+        assert!(resolved.events().len() <= 2 + 3 + 2, "seed {seed}");
+        assert_eq!(resolved.resolved(seed, 1e6), resolved, "seed {seed}");
+    }
+}
+
+/// The plan digest hears every hop of a chain, but does not care in
+/// which order chained *events* were declared.
+#[test]
+fn fingerprint_stable_under_chain_declaration_order() {
+    let mut rng = FaultRng::new(0xF1F0);
+    let horizon = 300.0;
+    let events: Vec<FaultEvent> = (0..10)
+        .map(|_| {
+            let mut ev = random_event(&mut rng, horizon);
+            let hops = 1 + rng.index(0, 4);
+            ev.escalates_to = Some(certain_chain(&mut rng, hops));
+            ev
+        })
+        .collect();
+    let reference = FaultPlan::from_events(events.clone()).fingerprint();
+    for _ in 0..8 {
+        let mut perm = events.clone();
+        shuffle(&mut perm, &mut rng);
+        assert_eq!(FaultPlan::from_events(perm).fingerprint(), reference);
+    }
+    // But trimming one hop off any chain changes the digest.
+    let mut trimmed = events.clone();
+    let esc = trimmed[3].escalates_to.take().unwrap();
+    trimmed[3].escalates_to = Some(Escalation::new(esc.kind, esc.delay_s, esc.probability));
+    let plain = FaultPlan::from_events(trimmed.clone());
+    if events[3].escalates_to.as_ref().unwrap().hops() > 1 {
+        assert_ne!(plain.fingerprint(), reference);
     }
 }
 

@@ -14,7 +14,7 @@ use std::time::Instant;
 pub const EPSILON: f64 = 0.01;
 
 /// Rows kept in the persisted score table.
-const MAX_TABLE: usize = 16;
+pub const MAX_TABLE: usize = 16;
 
 /// Knobs of a tuning run. All defaults are deterministic; `threads`
 /// only changes wall time, never the result (evaluations merge by

@@ -9,19 +9,21 @@
 //! 2. **Monotonicity** — any non-empty plan can only cost: degraded
 //!    time ≥ fault-free time, degraded GF/s ≤ fault-free GF/s.
 //!
-//! Plus the ISSUE 4 acceptance scenario: a host-rank death on the
-//! paper's Table III 100-node system (N = 825K, 10 × 10) completes on
-//! the 9 × 11 fallback grid with overhead_fraction < 1. The numeric
-//! (HPL-residual) half of that acceptance lives in `phi-blas`'s
-//! `checkpoint_restore_resumes_bit_identically` and is re-exercised
-//! here end to end through the facade.
+//! Plus the acceptance scenarios: a host-rank death on the paper's
+//! Table III 100-node system (N = 825K, 10 × 10) completes under the
+//! locality-preserving patch remap with ≥ 10× less redistribution
+//! volume than the wholesale 9 × 11 reshape, and the patch strategy
+//! never recovers slower than wholesale on any grid of the sweep. The
+//! numeric (HPL-residual) half of the recovery acceptance lives in
+//! `phi-blas`'s `checkpoint_restore_resumes_bit_identically` and is
+//! re-exercised here end to end through the facade.
 
 use linpack_phi::blas::gemm::BlockSizes;
 use linpack_phi::blas::lu::{getrf, getrf_stage, LuFactors};
 use linpack_phi::fabric::{BcastScheme, ProcessGrid};
 use linpack_phi::faults::{Escalation, FaultKind, FaultPlan};
 use linpack_phi::hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
-use linpack_phi::hpl::{simulate_cluster_faulty, FtPolicy};
+use linpack_phi::hpl::{simulate_cluster_faulty, FtPolicy, RemapStrategy};
 use linpack_phi::matrix::{hpl_residual, MatGen};
 
 /// The sweep's grid shapes with problem sizes that fit 64 GiB/node.
@@ -115,10 +117,12 @@ fn non_empty_plans_are_monotone_everywhere() {
 
 #[test]
 fn table3_host_death_acceptance() {
-    // ISSUE 4 acceptance: the 100-node Table III system loses a host
-    // rank a third of the way in, recovers from checkpointed panel
-    // state onto the 9×11 fallback grid, and completes with
-    // overhead_fraction < 1.
+    // Acceptance: the 100-node Table III system loses a host rank a
+    // third of the way in. Under the default locality-preserving patch
+    // remap the survivors keep their 10×10 coordinates and only the
+    // dead rank's block-cyclic share moves — ≥ 10× less redistribution
+    // volume than the wholesale 9×11 reshape of the same scenario —
+    // and both complete with overhead_fraction < 1.
     let mut cfg = HybridConfig::new(825_000, ProcessGrid::new(10, 10), 1);
     cfg.lookahead = Lookahead::Pipelined;
     let healthy = simulate_cluster(&cfg, false);
@@ -130,16 +134,84 @@ fn table3_host_death_acceptance() {
     let r = &ft.result.report;
     let f = r.faults.expect("accounting present");
     assert_eq!(f.hosts_lost, 1);
-    assert_eq!(f.fallback_grid, Some((9, 11)));
+    assert_eq!(f.remap, RemapStrategy::Patch);
+    assert_eq!(f.fallback_grid, None, "patch keeps the 10x10 grid");
     assert!(f.recovery_s > 0.0);
+    assert!(f.blocks_moved > 0);
     let overhead = f.overhead_fraction(r.time_s);
     assert!(
         overhead > 0.0 && overhead < 1.0,
         "overhead_fraction = {overhead}"
     );
+    // The same scenario under the wholesale reshape: survivors re-form
+    // the 9×11 grid and the whole trailing submatrix moves.
+    let whsl_pol = FtPolicy::default().with_remap(RemapStrategy::Wholesale);
+    let fw = simulate_cluster_faulty(&cfg, &plan, &whsl_pol, false);
+    let w = fw.result.report.faults.expect("accounting present");
+    assert_eq!(w.fallback_grid, Some((9, 11)));
+    assert!(
+        w.blocks_moved >= 10 * f.blocks_moved,
+        "patch must cut redistribution volume >= 10x: {} vs {}",
+        f.blocks_moved,
+        w.blocks_moved
+    );
+    assert!(f.recovery_s <= w.recovery_s);
     // The run replays bit-identically.
     let again = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
     assert_eq!(ft.run_fingerprint(), again.run_fingerprint());
+}
+
+#[test]
+fn patch_remap_never_recovers_slower_than_wholesale() {
+    // Dominance: on every grid of the sweep, a mid-run host death
+    // recovered by the patch remap costs at most the wholesale reshape
+    // — in redistribution volume and in recovery seconds. On grids too
+    // small to patch (survivor floor), patch degrades *to* wholesale
+    // and the two runs coincide exactly.
+    for (n, p, q) in GRIDS {
+        let mut cfg = HybridConfig::new(n, ProcessGrid::new(p, q), 1);
+        cfg.lookahead = Lookahead::Pipelined;
+        let size = cfg.grid.size();
+        if size < 2 {
+            continue; // a host death on 1x1 leaves no survivors
+        }
+        let healthy = simulate_cluster(&cfg, false);
+        let plan = FaultPlan::none().with_event(
+            healthy.report.time_s / 3.0,
+            FaultKind::HostDeath { rank: size / 2 },
+        );
+        let patch = simulate_cluster_faulty(&cfg, &plan, &FtPolicy::default(), false);
+        let whsl = simulate_cluster_faulty(
+            &cfg,
+            &plan,
+            &FtPolicy::default().with_remap(RemapStrategy::Wholesale),
+            false,
+        );
+        let fp = patch.result.report.faults.expect("accounting present");
+        let fw = whsl.result.report.faults.expect("accounting present");
+        let label = format!("{n}/{p}x{q}");
+        assert!(
+            fp.blocks_moved <= fw.blocks_moved,
+            "{label}: patch moved more blocks ({} > {})",
+            fp.blocks_moved,
+            fw.blocks_moved
+        );
+        assert!(
+            fp.recovery_s <= fw.recovery_s,
+            "{label}: patch recovered slower ({} > {})",
+            fp.recovery_s,
+            fw.recovery_s
+        );
+        if fp.fallback_grid.is_some() {
+            // Degraded to wholesale: the runs must coincide exactly.
+            assert_eq!(fp.fallback_grid, fw.fallback_grid, "{label}");
+            assert_eq!(
+                patch.result.report.time_s.to_bits(),
+                whsl.result.report.time_s.to_bits(),
+                "{label}: degraded patch diverged from wholesale"
+            );
+        }
+    }
 }
 
 #[test]
@@ -159,11 +231,7 @@ fn escalated_cascade_is_monotone_and_single_fingerprint() {
         .with_cascade(
             t / 3.0,
             storm,
-            Escalation {
-                kind: FaultKind::CardDeath { card: 0 },
-                delay_s: t / 10.0,
-                probability: 1.0,
-            },
+            Escalation::new(FaultKind::CardDeath { card: 0 }, t / 10.0, 1.0),
         )
         .resolved(3, t * 2.0);
     assert_ne!(storm_only.fingerprint(), cascade.fingerprint());
