@@ -3,7 +3,8 @@
 //! random campaigns; the replay check must always print bit-identical.
 //!
 //! ```text
-//! faults [SEED] [--single] [--cluster] [--remap patch|wholesale] [--out FILE]
+//! faults [SEED] [--single] [--cluster] [--remap patch|wholesale] \
+//!        [--fleet-seeds N] [--scope mixed|rack|storm] [--out FILE]
 //! ```
 //!
 //! By default both the single-node table and the Table III 100-node
@@ -11,8 +12,10 @@
 //! `--remap` picks the host-death recovery remapping for the cluster
 //! table (default `patch`, the locality-preserving strategy; the table
 //! always carries one explicitly-wholesale row for comparison).
-//! `--out FILE` additionally writes the report to `FILE` (the CI smoke
-//! job uploads it as an artifact).
+//! `--fleet-seeds N` appends an `N`-seed fleet availability summary
+//! (see the `fleet` bin for the full campaign driver); `--scope` picks
+//! its failure-mode family. `--out FILE` additionally writes the report
+//! to `FILE` (the CI smoke job uploads it as an artifact).
 
 use std::fmt;
 use std::process::ExitCode;
@@ -48,6 +51,8 @@ fn main() -> ExitCode {
     let mut single = false;
     let mut cluster = false;
     let mut remap = phi_fabric::RemapStrategy::default();
+    let mut fleet_seeds: Option<usize> = None;
+    let mut scope = phi_faults::CampaignScope::default();
     let mut out_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -63,6 +68,24 @@ fn main() -> ExitCode {
                         "faults: --remap needs `patch` or `wholesale`, got {}",
                         other.unwrap_or("nothing")
                     );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fleet-seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => fleet_seeds = Some(n),
+                _ => {
+                    eprintln!("faults: --fleet-seeds needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scope" => match args
+                .next()
+                .as_deref()
+                .and_then(phi_faults::CampaignScope::parse)
+            {
+                Some(s) => scope = s,
+                None => {
+                    eprintln!("faults: --scope needs `mixed`, `rack` or `storm`");
                     return ExitCode::FAILURE;
                 }
             },
@@ -103,6 +126,17 @@ fn main() -> ExitCode {
             "== Fault campaign (Table III, N = 825K on 10x10) ==\n{}",
             phi_bench::fault_campaign_cluster_render(seed, remap)
         ));
+    }
+    if let Some(seeds) = fleet_seeds {
+        if single || cluster {
+            report.push('\n');
+        }
+        report.push_str(&phi_bench::fleet_render(&phi_bench::FleetOptions {
+            seeds,
+            seed0: seed,
+            scope,
+            ..phi_bench::FleetOptions::default()
+        }));
     }
     print!("{report}");
     if let Some(path) = out_path {

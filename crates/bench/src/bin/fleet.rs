@@ -1,0 +1,94 @@
+//! Fleet-scale Monte Carlo availability campaign: tens of thousands of
+//! seeded fault campaigns streamed through the fault-tolerant cluster
+//! simulators, reduced to completion-time percentiles, a
+//! GFLOPS-availability curve, the patch-vs-wholesale crossover frontier
+//! and the best patch death budget.
+//!
+//! ```text
+//! fleet [--seeds N] [--seed0 SEED] [--threads T] \
+//!       [--scope mixed|rack|storm] [--events N] [--out FILE]
+//! ```
+//!
+//! The report is byte-identical at any `--threads` value (including the
+//! `0` = auto default); re-running with the same flags must reproduce
+//! the same fleet digest bit for bit. `--out FILE` additionally writes
+//! the report to `FILE` (the CI smoke job uploads it as an artifact).
+
+use phi_bench::fleet::{fleet_render, FleetOptions};
+use phi_faults::CampaignScope;
+use std::process::ExitCode;
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(h) => u64::from_str_radix(h, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opts = FleetOptions::default();
+    let mut out_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.seeds = n,
+                _ => {
+                    eprintln!("fleet: --seeds needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed0" => match args.next().as_deref().and_then(parse_seed) {
+                Some(s) => opts.seed0 = s,
+                None => {
+                    eprintln!("fleet: --seed0 needs a u64 (decimal or 0x-hex)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => opts.threads = t,
+                None => {
+                    eprintln!("fleet: --threads needs an integer (0 = auto)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scope" => match args.next().as_deref().and_then(CampaignScope::parse) {
+                Some(s) => opts.scope = s,
+                None => {
+                    eprintln!("fleet: --scope needs `mixed`, `rack` or `storm`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.events = n,
+                _ => {
+                    eprintln!("fleet: --events needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("fleet: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("fleet: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = fleet_render(&opts);
+    print!("{report}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("fleet: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,7 +9,7 @@
 
 use crate::TextTable;
 use phi_fabric::{ProcessGrid, RemapStrategy};
-use phi_faults::{Escalation, FaultKind, FaultPlan};
+use phi_faults::{ChildSpec, Escalation, FaultKind, FaultPlan, Scope};
 use phi_hpl::hybrid::{simulate_cluster, HybridConfig, Lookahead};
 use phi_hpl::{simulate_cluster_faulty, FtPolicy};
 use std::fmt::Write;
@@ -208,6 +208,41 @@ pub fn fault_campaign_cluster_rows(seed: u64, remap: RemapStrategy) -> Vec<Campa
             ),
         )
         .resolved(seed, healthy * 2.0);
+    // The correlated fan-out archetypes: one rack power event takes a
+    // contiguous 8-rank set down in a single resolution step, and one
+    // CRC storm fans to every card on its host.
+    let rack_fanout = FaultPlan::none()
+        .with_cascade(
+            healthy / 2.0,
+            FaultKind::LinkDegrade {
+                factor: 0.1,
+                duration_s: healthy * 0.05,
+            },
+            Escalation::fan(vec![ChildSpec::new(
+                FaultKind::HostDeath { rank: 40 },
+                healthy * 0.02,
+                1.0,
+            )
+            .with_scope(Scope::RankSet((40..48).collect()))]),
+        )
+        .resolved(seed, healthy * 2.0);
+    let storm_fanout = FaultPlan::none()
+        .with_cascade(
+            healthy / 3.0,
+            FaultKind::PcieCrcStorm {
+                stall_s: 2e-4,
+                duration_s: healthy * 0.1,
+            },
+            Escalation::fan(vec![ChildSpec::new(
+                FaultKind::CardDeath { card: 0 },
+                healthy * 0.05,
+                1.0,
+            )
+            .with_scope(Scope::SameHost {
+                cards: cfg.cards_per_node,
+            })]),
+        )
+        .resolved(seed, healthy * 2.0);
 
     let mut rows = vec![
         run(&cfg, "healthy (zero-fault plan)", &FaultPlan::none(), &none),
@@ -250,6 +285,18 @@ pub fn fault_campaign_cluster_rows(seed: u64, remap: RemapStrategy) -> Vec<Campa
             &ckpt,
         ),
         run(&cfg, "storm -> card -> host chain", &chain_cascade, &ckpt),
+        run(
+            &cfg,
+            "rack power event, 8-rank fan-out",
+            &rack_fanout,
+            &ckpt,
+        ),
+        run(
+            &cfg,
+            "storm fans to every card on host",
+            &storm_fanout,
+            &ckpt,
+        ),
     ];
     for i in 0..2u64 {
         let s = seed.wrapping_add(i);
@@ -456,6 +503,18 @@ mod tests {
             (chain.events, chain.cards_lost, chain.hosts_lost),
             (3, 1, 1)
         );
+        // The rack power event fans one draw into the whole correlated
+        // 8-rank set — all dead in one resolution step, still patched
+        // in place (8 ≤ the size/8 death budget on 100 nodes).
+        let rack = &rows[9];
+        assert_eq!((rack.events, rack.hosts_lost), (9, 8));
+        assert_eq!(rack.remap, RemapStrategy::Patch);
+        assert_eq!(rack.fallback, None, "budgeted patch keeps the grid");
+        assert!(rack.blocks_moved > ck.blocks_moved);
+        // The storm fan-out strikes every card on its host (one on the
+        // Table III system).
+        let fan = &rows[10];
+        assert_eq!((fan.events, fan.cards_lost, fan.hosts_lost), (2, 1, 0));
         // Monotone: every faulted row costs time and GF/s.
         for r in &rows[1..] {
             assert!(r.time_s >= r.healthy_s, "{}", r.scenario);

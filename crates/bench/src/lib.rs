@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod faults;
+pub mod fleet;
 pub mod format;
 pub mod lintgate;
 pub mod perfgate;
@@ -21,6 +22,10 @@ pub use experiments::*;
 pub use faults::{
     experiments_fault_section_md, fault_campaign_cluster_render, fault_campaign_cluster_rows,
     fault_campaign_render, fault_campaign_rows, paper_cluster, CampaignRow,
+};
+pub use fleet::{
+    availability_curve, best_budget, budget_sweep, completion_percentiles, crossover_frontier,
+    crossover_point, fleet_render, run_fleet, FleetOptions, FleetResult, SeedOutcome,
 };
 pub use format::TextTable;
 pub use phi_hpl::native::NativeScheme;

@@ -9,9 +9,11 @@
 //! with `UPDATE_BASELINE=1` and commits the diff like any fixture.
 
 use crate::faults::fault_campaign_cluster_rows;
+use crate::fleet::{completion_percentiles, run_fleet, FleetOptions};
 use crate::tune::{run_tuner, TuneBenchError};
 use crate::TextTable;
 use phi_fabric::RemapStrategy;
+use phi_faults::{CampaignScope, FaultPlan};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -89,9 +91,50 @@ pub struct Metric {
     pub value: f64,
 }
 
+/// Seeds in the gate's reference fleet — small enough to keep the gate
+/// fast, large enough that the P99 is a real tail statistic.
+const GATE_FLEET_SEEDS: usize = 160;
+
+/// The gate's fleet: [`GATE_FLEET_SEEDS`] mixed-scope campaigns rooted
+/// at [`GATE_SEED`]. Thread count stays at auto — the fleet is
+/// byte-identical at any value, so the metric is machine-independent.
+fn gate_fleet_options() -> FleetOptions {
+    FleetOptions {
+        seeds: GATE_FLEET_SEEDS,
+        seed0: GATE_SEED,
+        ..FleetOptions::default()
+    }
+}
+
+/// Fan-out resolution throughput in *simulated* terms: resolved events
+/// per simulated hour across a reference set of rack-scoped (maximally
+/// fanning) campaign plans. Pure plan arithmetic — no wall clock, so
+/// the metric reproduces bit-for-bit; it moves only when the fan-out
+/// resolution itself starts spawning more or fewer events.
+fn fanout_resolution_throughput() -> f64 {
+    const PLANS: usize = 64;
+    const HORIZON_S: f64 = 3600.0;
+    let events: usize = (0..PLANS as u64)
+        .map(|i| {
+            FaultPlan::fleet_campaign(
+                GATE_SEED.wrapping_add(i),
+                HORIZON_S,
+                3,
+                100,
+                2,
+                CampaignScope::Rack,
+            )
+            .events()
+            .len()
+        })
+        .sum();
+    events as f64 / (PLANS as f64 * HORIZON_S / 3600.0)
+}
+
 /// Computes every gated metric in-process. The fault-campaign figures
-/// come from the Table III cluster campaign at [`GATE_SEED`]; the tune
-/// figure from the 100-node smoke tune (cached under `cache_dir`).
+/// come from the Table III cluster campaign at [`GATE_SEED`]; the fleet
+/// tail figure from the 160-seed reference fleet; the
+/// tune figure from the 100-node smoke tune (cached under `cache_dir`).
 pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
     let rows = fault_campaign_cluster_rows(GATE_SEED, RemapStrategy::Patch);
     // Row layout is pinned by `cluster_table_covers_host_death_and_recovers`:
@@ -132,6 +175,14 @@ pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
         Metric {
             name: "tune_cluster100_smoke_gflops",
             value: cluster100.outcome.tuned_report.gflops,
+        },
+        Metric {
+            name: "fleet_p99_time_s",
+            value: completion_percentiles(&run_fleet(&gate_fleet_options()))[1].1,
+        },
+        Metric {
+            name: "fanout_resolution_throughput",
+            value: fanout_resolution_throughput(),
         },
     ])
 }
@@ -443,7 +494,16 @@ mod tests {
         let a = collect_metrics(&dir).unwrap();
         let b = collect_metrics(&dir).unwrap();
         assert_eq!(a, b, "gate metrics must be deterministic");
-        assert_eq!(a.len(), 7);
+        assert_eq!(a.len(), 9);
+        let p99 = a.iter().find(|m| m.name == "fleet_p99_time_s").unwrap();
+        assert!(p99.value > 0.0);
+        let thr = a
+            .iter()
+            .find(|m| m.name == "fanout_resolution_throughput")
+            .unwrap();
+        // Rack campaigns amplify: more events than the 3 roots per
+        // plan-hour, or the fan-out stopped fanning.
+        assert!(thr.value > 3.0, "throughput collapsed: {}", thr.value);
         let reduction = a
             .iter()
             .find(|m| m.name == "patch_volume_reduction")

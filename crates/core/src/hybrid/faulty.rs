@@ -90,6 +90,13 @@ pub struct FtPolicy {
     /// death: a locality-preserving patch (default) or a wholesale
     /// reshape onto a fallback grid.
     pub remap: RemapStrategy,
+    /// Cumulative host deaths the patch remap absorbs before the
+    /// survivors reshape wholesale. `None` (the default) keeps the
+    /// historical `grid.size() / 8` allowance — the same 1/8 idle
+    /// fraction the fallback grid tolerates; fleet campaigns sweep
+    /// explicit budgets to find the threshold maximizing expected
+    /// throughput.
+    pub death_budget: Option<usize>,
 }
 
 impl FtPolicy {
@@ -101,12 +108,19 @@ impl FtPolicy {
             rebalance_s: 0.25,
             redistribution_bw: 6.8e9,
             remap: RemapStrategy::default(),
+            death_budget: None,
         }
     }
 
     /// The same policy with the given recovery remapping strategy.
     pub fn with_remap(mut self, remap: RemapStrategy) -> Self {
         self.remap = remap;
+        self
+    }
+
+    /// The same policy with an explicit patch death budget.
+    pub fn with_death_budget(mut self, budget: usize) -> Self {
+        self.death_budget = Some(budget);
         self
     }
 }
@@ -385,12 +399,12 @@ pub fn simulate_cluster_faulty(
                 total * newly as f64 / cfg.grid.size() as f64
             };
             // The patch stays viable while the cumulative death count
-            // fits the same 1/8 idle allowance the fallback grid
-            // tolerates; past that (or when reshaped already) survivors
-            // reshape wholesale.
-            let patchable = policy.remap == RemapStrategy::Patch
-                && !reshaped
-                && hosts_now <= cfg.grid.size() / 8;
+            // fits the budget — by default the same 1/8 idle allowance
+            // the fallback grid tolerates; past that (or when reshaped
+            // already) survivors reshape wholesale.
+            let budget = policy.death_budget.unwrap_or(cfg.grid.size() / 8);
+            let patchable =
+                policy.remap == RemapStrategy::Patch && !reshaped && hosts_now <= budget;
             let redistribution = if patchable {
                 // Locality-preserving patch: only the newly dead ranks'
                 // block-cyclic trailing share moves; everyone else's
@@ -789,6 +803,85 @@ mod tests {
         // Replays bit-identically under the same fingerprint.
         let again = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
         assert_eq!(ft.run_fingerprint(), again.run_fingerprint());
+    }
+
+    #[test]
+    fn rack_fanout_kills_the_rank_set_in_one_recovery_step() {
+        // A rack power event fans out, on one correlated draw, into
+        // host deaths across a contiguous rank set. All members land at
+        // the same onset, so the simulator recovers the whole set in
+        // one panel-boundary batch: a single Recovery span, patch
+        // intact (4 deaths = the 4×8 grid's default budget).
+        let c = cfg(240_000, 4, 8, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t = healthy.report.time_s;
+        let ranks: Vec<usize> = (8..12).collect();
+        let plan = FaultPlan::none()
+            .with_cascade(
+                t / 3.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.1,
+                    duration_s: t / 10.0,
+                },
+                phi_faults::Escalation::fan(vec![phi_faults::ChildSpec::new(
+                    FaultKind::HostDeath { rank: 0 },
+                    t / 20.0,
+                    1.0,
+                )
+                .with_scope(phi_faults::Scope::RankSet(ranks.clone()))]),
+            )
+            .resolved(0xFA, t * 2.0);
+        assert_eq!(plan.total_host_deaths(), ranks.len());
+        let ft = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), true);
+        let f = ft.result.report.faults.unwrap();
+        assert_eq!(f.hosts_lost, 4);
+        assert_eq!(f.remap, RemapStrategy::Patch);
+        assert_eq!(f.fallback_grid, None, "4 deaths fit the 32/8 budget");
+        let recovery_spans = ft
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == Kind::Recovery)
+            .count();
+        assert_eq!(
+            recovery_spans, 1,
+            "the correlated set must recover in one step"
+        );
+        // Deterministic per seed: the same plan replays bit-identically.
+        let again = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), true);
+        assert_eq!(ft.run_fingerprint(), again.run_fingerprint());
+    }
+
+    #[test]
+    fn death_budget_knob_moves_the_patch_wholesale_frontier() {
+        let c = cfg(240_000, 4, 8, 1);
+        let healthy = simulate_cluster(&c, false);
+        let t = healthy.report.time_s;
+        let mut plan = FaultPlan::none();
+        for rank in 0..3usize {
+            plan = plan.with_event(t * (0.2 + 0.1 * rank as f64), FaultKind::HostDeath { rank });
+        }
+        // The default budget (32/8 = 4) absorbs all three deaths...
+        let default_run = simulate_cluster_faulty(&c, &plan, &FtPolicy::default(), false);
+        assert_eq!(
+            default_run.result.report.faults.unwrap().fallback_grid,
+            None
+        );
+        // ...an explicit budget of 4 is bit-identical to the default...
+        let explicit =
+            simulate_cluster_faulty(&c, &plan, &FtPolicy::default().with_death_budget(4), false);
+        assert_eq!(
+            explicit.run_fingerprint(),
+            default_run.run_fingerprint(),
+            "explicit default-sized budget must not change the run"
+        );
+        // ...and a budget of 1 forces the wholesale reshape at the
+        // second death.
+        let tight =
+            simulate_cluster_faulty(&c, &plan, &FtPolicy::default().with_death_budget(1), false);
+        let f = tight.result.report.faults.unwrap();
+        assert!(f.fallback_grid.is_some(), "budget 1 must reshape");
+        assert_ne!(tight.run_fingerprint(), default_run.run_fingerprint());
     }
 
     #[test]

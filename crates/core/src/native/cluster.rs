@@ -436,6 +436,42 @@ mod tests {
     }
 
     #[test]
+    fn ft_storm_fanout_kills_every_card_in_one_batch() {
+        use phi_faults::{ChildSpec, Escalation, FaultKind, FaultPlan, Scope};
+        // A host-wide PCIe storm fans out to a correlated set of nodes
+        // (a node here *is* a card): the whole set dies at one onset
+        // and the simulator recovers it in a single boundary batch.
+        let cfg = NativeClusterConfig::new(90_000, 3, 3);
+        let base = simulate_native_cluster(&cfg);
+        let t = base.time_s;
+        let plan = FaultPlan::none()
+            .with_cascade(
+                t / 3.0,
+                FaultKind::PcieCrcStorm {
+                    stall_s: 200e-6,
+                    duration_s: t / 10.0,
+                },
+                Escalation::fan(vec![ChildSpec::new(
+                    FaultKind::CardDeath { card: 0 },
+                    t / 20.0,
+                    1.0,
+                )
+                .with_scope(Scope::SameHost { cards: 3 })]),
+            )
+            .resolved(0xFA, t * 2.0);
+        assert_eq!(plan.total_card_deaths(), 3);
+        let ft = simulate_native_cluster_ft(&cfg, &plan, true, RemapStrategy::Patch);
+        let f = ft.faults.unwrap();
+        assert_eq!(f.cards_lost, 3, "the whole correlated set dies");
+        assert!(f.blocks_moved > 0);
+        assert!(ft.time_s > base.time_s);
+        // Deterministic per seed: bit-identical replay.
+        let again = simulate_native_cluster_ft(&cfg, &plan, true, RemapStrategy::Patch);
+        assert_eq!(ft.time_s.to_bits(), again.time_s.to_bits());
+        assert_eq!(f.plan_fingerprint, again.faults.unwrap().plan_fingerprint);
+    }
+
+    #[test]
     fn max_n_formula() {
         let cfg = NativeClusterConfig::new(1000, 2, 2);
         let max = cfg.max_n();

@@ -17,7 +17,7 @@ pub mod model;
 pub mod numeric;
 pub mod static_la;
 
-pub use cluster::{simulate_native_cluster, NativeClusterConfig};
+pub use cluster::{simulate_native_cluster, simulate_native_cluster_ft, NativeClusterConfig};
 pub use model::simulate_dynamic;
 pub use numeric::{factorize_parallel, solve_parallel};
 pub use static_la::simulate_static;

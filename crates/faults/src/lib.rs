@@ -21,21 +21,30 @@
 //!
 //! **Correlated cascades.** A [`FaultEvent`] may carry an
 //! [`Escalation`] edge (`escalates_to`): a transient fault that, with
-//! some probability, worsens into a second fault after a delay — a PCIe
-//! CRC storm retraining itself into a dead card, a flapping rail
-//! escalating into a lost host rank. Edges chain: an escalation may
-//! itself carry a next hop ([`Escalation::then`]), so a storm can burn
-//! out its card *and* the dead card can take its host down — a
-//! multi-hop chain declared as one causal unit. Edges are *resolved*,
-//! by [`FaultPlan::resolved`], with a seeded draw per edge: a firing
-//! edge appends the escalated event (carrying the remaining chain) to
-//! the plan as a concrete, causally linked occurrence, and resolution
-//! recurses to a fixed point — bounded by [`MAX_CASCADE_DEPTH`] hops
-//! and guarded against re-spawning an event already in the plan, so it
-//! can never loop. The fingerprint covers every edge of every chain
-//! plus the spawned events, so a cascade replays as one causal unit
-//! under one fingerprint, and resolution never schedules anything at
-//! or past the horizon: an escalation landing at **exactly** the
+//! some probability, worsens into one *or several* further faults
+//! after a delay — a PCIe CRC storm retraining itself into a dead
+//! card, a flapping rail escalating into a lost host rank, a rack
+//! power event taking a whole correlated set of ranks down at once.
+//! An edge carries a list of [`ChildSpec`]s: each child has its own
+//! probability, delay, optional uniform jitter, and a correlated-group
+//! [`Scope`] that expands one firing draw into N spawned events across
+//! a deterministic, per-event-hash-keyed target set ([`Scope::SameHost`]
+//! fans to every card on the struck host, [`Scope::RankSet`] to an
+//! explicit rack/chassis set, [`Scope::Fraction`] to a seeded random
+//! fraction of the fleet). Children chain: each child may itself carry
+//! a next edge ([`ChildSpec::then`]), so a storm can burn out its card
+//! *and* the dead card can take its host down — a multi-hop cascade
+//! declared as one causal unit. Edges are *resolved*, by
+//! [`FaultPlan::resolved`], with a seeded draw per child: a firing
+//! child appends its escalated events (carrying the remaining chain)
+//! to the plan as concrete, causally linked occurrences, and
+//! resolution recurses to a fixed point — bounded by
+//! [`MAX_CASCADE_DEPTH`] hops and guarded against re-spawning an event
+//! already in the plan, so it can never loop. The fingerprint covers
+//! every child of every edge plus the spawned events — single-child
+//! edges hash exactly the bytes the pre-fan-out format did, keeping
+//! historical digests stable — and resolution never schedules anything
+//! at or past the horizon: an escalation landing at **exactly** the
 //! horizon is dropped (`at_s >= horizon_s`), keeping
 //! [`FaultPlan::effects_over`] over `[0, horizon)` and the resolved
 //! event list in agreement.
@@ -55,6 +64,12 @@ const FNV_PRIME: u64 = 0x100000001b3;
 /// Salt XORed into a campaign seed before escalation resolution, so the
 /// per-edge resolution draws never alias the event-parameter draws.
 const ESCALATION_SALT: u64 = 0xe5ca_1a7e_0ca5_cade;
+
+/// Per-child-index salt multiplier (the 64-bit golden ratio) separating
+/// sibling children's resolution streams. Child 0's salt is zero, so a
+/// single-child edge draws exactly the stream the pre-fan-out format
+/// drew — legacy plans resolve bit-identically.
+const CHILD_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Upper bound on the hops a cascade chain may resolve through: a
 /// depth guard on [`FaultPlan::resolved`]'s fixed-point recursion.
@@ -107,16 +122,61 @@ fn mix_kind(h: &mut u64, kind: &FaultKind) {
     }
 }
 
-/// Folds an escalation edge — and, recursively, the rest of its chain —
-/// into `h`. Single-hop edges mix exactly the bytes the pre-chain
-/// format did, keeping historical digests stable.
+/// Folds a correlated-group scope's tag and parameters into `h`. Only
+/// called for non-[`Scope::Single`] scopes — the default scope
+/// contributes no bytes, keeping pre-fan-out digests stable.
+fn mix_scope(h: &mut u64, scope: &Scope) {
+    match scope {
+        Scope::Single => {}
+        Scope::SameCard => fnv_mix(h, 1),
+        Scope::SameHost { cards } => {
+            fnv_mix(h, 2);
+            fnv_mix(h, *cards as u64);
+        }
+        Scope::RankSet(ranks) => {
+            fnv_mix(h, 3);
+            fnv_mix(h, ranks.len() as u64);
+            for &r in ranks {
+                fnv_mix(h, r as u64);
+            }
+        }
+        Scope::Fraction { f, of } => {
+            fnv_mix(h, 4);
+            fnv_mix(h, f.to_bits());
+            fnv_mix(h, *of as u64);
+        }
+    }
+}
+
+/// Folds an escalation edge — every child, and recursively the rest of
+/// each child's chain — into `h`. The byte layout is
+/// backward-compatible by construction: a single-child edge emits no
+/// fan marker, a [`Scope::Single`] child emits no scope bytes, and a
+/// zero-jitter child emits no jitter bytes, so single-hop and chained
+/// edges hash exactly the bytes the pre-fan-out format did, keeping
+/// historical digests stable. Multi-child edges lead with a fan marker
+/// and the child count, so a 2-child fan can never alias a 2-hop chain.
 fn mix_esc(h: &mut u64, esc: &Escalation) {
-    fnv_mix(h, 0xe5c);
-    mix_kind(h, &esc.kind);
-    fnv_mix(h, esc.delay_s.to_bits());
-    fnv_mix(h, esc.probability.to_bits());
-    if let Some(next) = &esc.then {
-        mix_esc(h, next);
+    if esc.children.len() != 1 {
+        fnv_mix(h, 0xfa0);
+        fnv_mix(h, esc.children.len() as u64);
+    }
+    for child in &esc.children {
+        fnv_mix(h, 0xe5c);
+        mix_kind(h, &child.kind);
+        fnv_mix(h, child.delay_s.to_bits());
+        fnv_mix(h, child.probability.to_bits());
+        if child.scope != Scope::Single {
+            fnv_mix(h, 0x5c0);
+            mix_scope(h, &child.scope);
+        }
+        if child.jitter_s != 0.0 {
+            fnv_mix(h, 0x171);
+            fnv_mix(h, child.jitter_s.to_bits());
+        }
+        if let Some(next) = &child.then {
+            mix_esc(h, next);
+        }
     }
 }
 
@@ -232,69 +292,214 @@ impl FaultKind {
     }
 }
 
-/// A correlated-failure edge: the owning event escalates into `kind`
-/// after `delay_s`, with probability `probability`, when the plan is
-/// [`FaultPlan::resolved`]. A chain continues through [`then`]: the
-/// spawned event inherits the tail of the chain and resolves it in
-/// turn (storm → card → host). All fields are concrete; the only
-/// randomness is one seeded draw per edge at resolution time.
-///
-/// [`then`]: Escalation::then
+/// Correlated-group scope of one escalation child: how a single firing
+/// draw expands into concrete spawned targets. Every expansion is a
+/// pure function of the owning event's content hash and the resolution
+/// seed — correlated sets are deterministic and replay bit-identically.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Escalation {
-    /// The fault the owning event escalates into.
+pub enum Scope {
+    /// The child's own declared target, unchanged — the pre-fan-out
+    /// behavior, and the default.
+    Single,
+    /// Correlate the child's target with the owning event: a child
+    /// spawned by a card-scoped parent strikes the *same* card. Parents
+    /// without a card target fall back to the declared target.
+    SameCard,
+    /// Fan out to every card index `0..cards` on the struck host — a
+    /// PCIe CRC storm or power rail taking the whole riser with it.
+    SameHost {
+        /// Coprocessors per host on the modeled system.
+        cards: usize,
+    },
+    /// Fan out to an explicit correlated rank set — a rack or chassis
+    /// sharing one power feed.
+    RankSet(Vec<usize>),
+    /// Fan out to a seeded pseudo-random fraction `f` of ranks
+    /// `0..of`: each rank joins the correlated set independently with
+    /// probability `f`, keyed on the owning event's hash — the same
+    /// event always strikes the same subset.
+    Fraction {
+        /// Per-rank membership probability in `[0, 1]`.
+        f: f64,
+        /// Fleet size the fraction is drawn over.
+        of: usize,
+    },
+}
+
+impl Scope {
+    /// Expands the scope into spawn targets, in deterministic order.
+    /// `Some(t)` retargets the child's kind onto `t` (card index or
+    /// host rank); `None` keeps the declared target. Membership draws
+    /// ([`Scope::Fraction`]) come from `rng`, which resolution keys on
+    /// the owning event's content hash — so the correlated set is a
+    /// pure function of (seed, event).
+    fn expand(&self, parent: &FaultKind, rng: &mut FaultRng) -> Vec<Option<usize>> {
+        match self {
+            Scope::Single => vec![None],
+            Scope::SameCard => match *parent {
+                FaultKind::CardDeath { card } => vec![Some(card)],
+                _ => vec![None],
+            },
+            Scope::SameHost { cards } => (0..(*cards).max(1)).map(Some).collect(),
+            Scope::RankSet(ranks) => ranks.iter().map(|&r| Some(r)).collect(),
+            Scope::Fraction { f, of } => (0..*of)
+                .filter_map(|r| if rng.unit() < *f { Some(Some(r)) } else { None })
+                .collect(),
+        }
+    }
+}
+
+/// Stamps target `t` into a kind's card/rank slot; transient kinds
+/// carry no target and pass through unchanged.
+fn retarget(kind: FaultKind, t: usize) -> FaultKind {
+    match kind {
+        FaultKind::CardDeath { .. } => FaultKind::CardDeath { card: t },
+        FaultKind::HostDeath { .. } => FaultKind::HostDeath { rank: t },
+        other => other,
+    }
+}
+
+/// One child of a correlated-failure edge: the owning event escalates
+/// into `kind` after `delay_s` (plus optional per-target jitter), with
+/// probability `probability`, across the targets its [`Scope`] expands
+/// to. A chain continues through [`then`]: every spawned event inherits
+/// the tail of the chain and resolves it in turn (storm → card →
+/// host). All fields are concrete; the only randomness is the seeded
+/// per-child draw stream at resolution time.
+///
+/// [`then`]: ChildSpec::then
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChildSpec {
+    /// The fault this child escalates into (its card/rank target may be
+    /// rewritten by the scope expansion).
     pub kind: FaultKind,
     /// Delay from the owning event's onset to the escalated onset,
     /// seconds of simulated time (≥ 0).
     pub delay_s: f64,
-    /// Probability in `[0, 1]` that the edge fires at resolution.
+    /// Probability in `[0, 1]` that the child fires at resolution. One
+    /// draw covers the whole correlated set: the group fires together
+    /// or not at all.
     pub probability: f64,
-    /// Next hop of the chain, carried by the spawned event; `None`
+    /// Extra uniform `[0, jitter_s)` onset stagger drawn per spawned
+    /// target — members of a correlated set don't land on exactly the
+    /// same microsecond. Zero (the default) adds no draw offset and
+    /// keeps spawn times bit-identical to the pre-fan-out format.
+    pub jitter_s: f64,
+    /// Correlated-group scope; [`Scope::Single`] (the default)
+    /// reproduces the pre-fan-out single-target behavior.
+    pub scope: Scope,
+    /// Next hop of the chain, carried by every spawned event; `None`
     /// terminates the chain.
     pub then: Option<Box<Escalation>>,
 }
 
-impl Escalation {
-    /// A single-hop edge (no chain).
+impl ChildSpec {
+    /// A single-target child (no scope fan-out, no jitter, no chain).
     pub fn new(kind: FaultKind, delay_s: f64, probability: f64) -> Self {
         Self {
             kind,
             delay_s,
             probability,
+            jitter_s: 0.0,
+            scope: Scope::Single,
             then: None,
         }
     }
 
-    /// Appends `next` at the end of the chain (builder style), so
-    /// `a.chain(b).chain(c)` reads in causal order: the owning event
-    /// escalates into `a`, which escalates into `b`, then `c`.
-    pub fn chain(mut self, next: Escalation) -> Self {
-        self.push_tail(next);
+    /// Sets the correlated-group scope (builder style).
+    pub fn with_scope(mut self, scope: Scope) -> Self {
+        self.scope = scope;
         self
     }
 
-    fn push_tail(&mut self, next: Escalation) {
-        match &mut self.then {
-            Some(tail) => tail.push_tail(next),
-            None => self.then = Some(Box::new(next)),
-        }
+    /// Sets the per-target onset jitter bound (builder style).
+    pub fn with_jitter(mut self, jitter_s: f64) -> Self {
+        self.jitter_s = jitter_s;
+        self
     }
 
-    /// Hops in this chain, the terminal edge included (≥ 1).
-    pub fn hops(&self) -> usize {
+    /// Hops through this child's chain, itself included (≥ 1).
+    fn hops(&self) -> usize {
         1 + self.then.as_ref().map_or(0, |t| t.hops())
     }
 
-    /// Clips the chain to at most `depth` hops. Plan construction
-    /// applies this with [`MAX_CASCADE_DEPTH`], so the depth bound is a
-    /// property of the *declared* plan — which keeps resolution a true
-    /// fixed point (a spawned event's tail is always a suffix of an
-    /// already-clipped chain).
     fn clip(&mut self, depth: usize) {
         if depth <= 1 {
             self.then = None;
         } else if let Some(tail) = &mut self.then {
             tail.clip(depth - 1);
+        }
+    }
+}
+
+/// A correlated-failure edge: one or more [`ChildSpec`]s the owning
+/// event may escalate into when the plan is [`FaultPlan::resolved`].
+/// The single-child constructors ([`Escalation::new`] +
+/// [`Escalation::chain`]) reproduce the pre-fan-out chain semantics —
+/// same fingerprints, same resolution draws; [`Escalation::fan`] /
+/// [`Escalation::also`] declare multi-child fan-out edges.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Escalation {
+    /// The children this edge may spawn; each draws independently.
+    pub children: Vec<ChildSpec>,
+}
+
+impl Escalation {
+    /// A single-hop, single-child edge (no chain, no fan-out).
+    pub fn new(kind: FaultKind, delay_s: f64, probability: f64) -> Self {
+        Self {
+            children: vec![ChildSpec::new(kind, delay_s, probability)],
+        }
+    }
+
+    /// A multi-child fan-out edge. Panics on an empty child list — an
+    /// edge that can spawn nothing is a plan-construction bug.
+    pub fn fan(children: Vec<ChildSpec>) -> Self {
+        assert!(!children.is_empty(), "a fan-out edge needs children");
+        Self { children }
+    }
+
+    /// Appends `next` at the end of the *last* child's chain (builder
+    /// style), so `a.chain(b).chain(c)` reads in causal order: the
+    /// owning event escalates into `a`, which escalates into `b`, then
+    /// `c`. On single-child edges this is exactly the pre-fan-out
+    /// chain builder.
+    pub fn chain(mut self, next: Escalation) -> Self {
+        self.push_tail(next);
+        self
+    }
+
+    /// Adds a sibling child to this edge (builder style).
+    pub fn also(mut self, child: ChildSpec) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    fn push_tail(&mut self, next: Escalation) {
+        let last = self
+            .children
+            .last_mut()
+            .expect("an escalation edge always has at least one child");
+        match &mut last.then {
+            Some(tail) => tail.push_tail(next),
+            None => last.then = Some(Box::new(next)),
+        }
+    }
+
+    /// Hops in the longest chain through this edge, the terminal edge
+    /// included (≥ 1).
+    pub fn hops(&self) -> usize {
+        self.children.iter().map(ChildSpec::hops).max().unwrap_or(1)
+    }
+
+    /// Clips every chain to at most `depth` hops. Plan construction
+    /// applies this with [`MAX_CASCADE_DEPTH`], so the depth bound is a
+    /// property of the *declared* plan — which keeps resolution a true
+    /// fixed point (a spawned event's tail is always a suffix of an
+    /// already-clipped chain).
+    fn clip(&mut self, depth: usize) {
+        for child in &mut self.children {
+            child.clip(depth);
         }
     }
 }
@@ -373,6 +578,47 @@ impl Effects {
     /// True when this equals [`Effects::healthy`].
     pub fn is_healthy(&self) -> bool {
         *self == Self::healthy()
+    }
+}
+
+/// Which failure-mode family a [`FaultPlan::fleet_campaign`] draws
+/// from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CampaignScope {
+    /// Plain cluster kinds blended with both fan-out archetypes.
+    #[default]
+    Mixed,
+    /// Rack power events only: correlated rank-set deaths.
+    Rack,
+    /// Host-wide PCIe storms only: fan-out to every card on a host.
+    Storm,
+}
+
+impl CampaignScope {
+    /// Every scope, for sweeps and flag validation.
+    pub const ALL: [CampaignScope; 3] = [
+        CampaignScope::Mixed,
+        CampaignScope::Rack,
+        CampaignScope::Storm,
+    ];
+
+    /// Stable lowercase name (flag value / report label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignScope::Mixed => "mixed",
+            CampaignScope::Rack => "rack",
+            CampaignScope::Storm => "storm",
+        }
+    }
+
+    /// Parses a flag value; `None` on anything unknown.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mixed" => Some(CampaignScope::Mixed),
+            "rack" => Some(CampaignScope::Rack),
+            "storm" => Some(CampaignScope::Storm),
+            _ => None,
+        }
     }
 }
 
@@ -554,6 +800,138 @@ impl FaultPlan {
         Self::from_events(events).resolved(seed ^ ESCALATION_SALT, horizon_s)
     }
 
+    /// A seeded random *fleet* campaign: the correlated fan-out
+    /// archetypes operational Phi deployments report, drawn over
+    /// `[0, horizon_s)` for a `nodes`-rank cluster with
+    /// `cards_per_node` coprocessors per host. [`CampaignScope::Rack`]
+    /// draws rack power events — a deep link brownout that fans out,
+    /// on one correlated draw, into host deaths across a contiguous
+    /// rank span sharing the feed. [`CampaignScope::Storm`] draws PCIe
+    /// CRC storms that fan out to every card on the struck host, with
+    /// a chained chance of taking the host itself down.
+    /// [`CampaignScope::Mixed`] blends both with the plain
+    /// single-target kinds of [`FaultPlan::cluster_campaign`].
+    /// Escalation edges are resolved before the plan is returned, so
+    /// every event in the result is concrete and strictly inside the
+    /// horizon. Identical argument tuples produce identical plans, bit
+    /// for bit, and the correlated sets are keyed per event hash — the
+    /// same seed always strikes the same ranks.
+    pub fn fleet_campaign(
+        seed: u64,
+        horizon_s: f64,
+        count: usize,
+        nodes: usize,
+        cards_per_node: usize,
+        scope: CampaignScope,
+    ) -> Self {
+        assert!(horizon_s > 0.0, "degenerate horizon");
+        assert!(nodes > 0, "a cluster has at least one rank");
+        let mut rng = FaultRng::new(seed);
+        let mut events = Vec::with_capacity(count);
+        // A rack spans up to 8 contiguous ranks — small enough that a
+        // single rack event stays inside a 100-node system's default
+        // patch-remap budget, large enough to exercise batch recovery.
+        let rack_w = 8.min(nodes);
+        for _ in 0..count {
+            let at_s = rng.range(0.0, horizon_s);
+            let window = rng.range(0.02, 0.25) * horizon_s;
+            let archetype = match scope {
+                CampaignScope::Rack => 0,
+                CampaignScope::Storm => 1,
+                // Mixed: mostly plain cluster kinds, with both fan-out
+                // archetypes in the tail of the distribution.
+                CampaignScope::Mixed => match rng.index(0, 8) {
+                    0 => 0,
+                    1 => 1,
+                    _ => 2,
+                },
+            };
+            let ev = match archetype {
+                0 => {
+                    // Rack power event: the shared feed browns out the
+                    // rack's links, and with one correlated draw the
+                    // whole contiguous rank span goes down together.
+                    let start = rng.index(0, nodes - rack_w + 1);
+                    let ranks: Vec<usize> = (start..start + rack_w).collect();
+                    FaultEvent {
+                        at_s,
+                        kind: FaultKind::LinkDegrade {
+                            factor: rng.range(0.05, 0.3),
+                            duration_s: window,
+                        },
+                        escalates_to: Some(Escalation::fan(vec![ChildSpec::new(
+                            FaultKind::HostDeath { rank: start },
+                            rng.range(0.0, 0.05) * horizon_s,
+                            rng.range(0.2, 0.9),
+                        )
+                        .with_scope(Scope::RankSet(ranks))
+                        .with_jitter(rng.range(0.0, 0.01) * horizon_s)])),
+                    }
+                }
+                1 => {
+                    // Host-wide PCIe storm: every card on the host sees
+                    // the retry storm burn it out, and the dead riser
+                    // may take the host rank down with it.
+                    let host = rng.index(0, nodes);
+                    FaultEvent {
+                        at_s,
+                        kind: FaultKind::PcieCrcStorm {
+                            stall_s: rng.range(50e-6, 400e-6),
+                            duration_s: window,
+                        },
+                        escalates_to: Some(
+                            Escalation::fan(vec![ChildSpec::new(
+                                FaultKind::CardDeath { card: 0 },
+                                rng.range(0.0, 0.05) * horizon_s,
+                                rng.range(0.25, 0.9),
+                            )
+                            .with_scope(Scope::SameHost {
+                                cards: cards_per_node.max(1),
+                            })])
+                            .chain(Escalation::new(
+                                FaultKind::HostDeath { rank: host },
+                                rng.range(0.0, 0.05) * horizon_s,
+                                rng.range(0.2, 0.7),
+                            )),
+                        ),
+                    }
+                }
+                _ => {
+                    // Plain single-target kinds, same families as
+                    // `cluster_campaign`.
+                    let kind = match rng.index(0, 6) {
+                        0 => FaultKind::LinkDegrade {
+                            factor: rng.range(0.25, 0.9),
+                            duration_s: window,
+                        },
+                        1 => FaultKind::LatencyJitter {
+                            sigma_s: rng.range(1e-6, 40e-6),
+                            duration_s: window,
+                        },
+                        2 => FaultKind::PcieCrcStorm {
+                            stall_s: rng.range(5e-6, 200e-6),
+                            duration_s: window,
+                        },
+                        3 => FaultKind::Straggler {
+                            core_fraction: rng.range(0.05, 0.5),
+                            slowdown: rng.range(1.2, 3.0),
+                            duration_s: window,
+                        },
+                        4 => FaultKind::CardDeath {
+                            card: rng.index(0, cards_per_node.max(1)),
+                        },
+                        _ => FaultKind::HostDeath {
+                            rank: rng.index(0, nodes),
+                        },
+                    };
+                    FaultEvent::new(at_s, kind)
+                }
+            };
+            events.push(ev);
+        }
+        Self::from_events(events).resolved(seed ^ ESCALATION_SALT, horizon_s)
+    }
+
     /// Adds one event (builder style), keeping onset order.
     pub fn with_event(self, at_s: f64, kind: FaultKind) -> Self {
         self.with_fault_event(FaultEvent::new(at_s, kind))
@@ -577,28 +955,34 @@ impl FaultPlan {
         Self::from_events(self.events)
     }
 
-    /// Resolves every escalation chain to a fixed point, with one
-    /// seeded draw per edge: a firing edge appends its escalated fault
-    /// as a concrete event at `parent.at_s + delay_s` carrying the
-    /// rest of the chain, and the spawned event's own edge resolves in
-    /// the next round — recursively, until no unresolved edge remains.
-    /// The recursion is bounded by construction: chains are clipped to
-    /// [`MAX_CASCADE_DEPTH`] hops when the plan is built, and every
-    /// spawned tail is strictly shorter than its parent's chain, so
-    /// the fixed point arrives within that many rounds. Spawned onsets
-    /// must lie strictly before `horizon_s`: an escalation landing at
-    /// *exactly* the horizon is dropped (and with it the rest of its
-    /// chain) — cascades never schedule anything at or past the
-    /// horizon.
+    /// Resolves every escalation edge to a fixed point, with one
+    /// seeded draw per child: a firing child expands its [`Scope`]
+    /// into concrete targets and appends each escalated fault as a
+    /// concrete event at `parent.at_s + delay_s (+ jitter)` carrying
+    /// the rest of the chain, and the spawned events' own edges
+    /// resolve in the next round — recursively, until no unresolved
+    /// edge remains. A whole correlated set (a rack's rank set, every
+    /// card on a host) therefore lands in **one** resolution step of
+    /// the worklist. The recursion is bounded by construction: chains
+    /// are clipped to [`MAX_CASCADE_DEPTH`] hops when the plan is
+    /// built, and every spawned tail is strictly shorter than its
+    /// parent's chain, so the fixed point arrives within that many
+    /// rounds. Spawned onsets must lie strictly before `horizon_s`: an
+    /// escalation landing at *exactly* the horizon is dropped (and
+    /// with it the rest of its chain) — cascades never schedule
+    /// anything at or past the horizon.
     ///
-    /// Each draw is keyed on `seed` and the drawing event's own
-    /// content hash, so resolution is independent of event order,
+    /// Each child's draw stream is keyed on `seed`, the drawing
+    /// event's own content hash, and the child's index (child 0's salt
+    /// is zero, so single-child edges draw exactly the pre-fan-out
+    /// stream), so resolution is independent of event order,
     /// deterministic, and idempotent: resolving an already-resolved
-    /// plan with the same seed changes nothing. An edge whose spawned
+    /// plan with the same seed changes nothing. A child whose spawned
     /// event already exists in the plan, chain and all, fires into it
-    /// (no duplicate is appended) — together with the depth clipping
-    /// this is the cycle guard: a self-feeding chain re-deriving the
-    /// same event converges instead of looping.
+    /// (no duplicate is appended) — that dedups identical spawns
+    /// across sibling children too, and together with the depth
+    /// clipping it is the cycle guard: a self-feeding chain
+    /// re-deriving the same event converges instead of looping.
     pub fn resolved(&self, seed: u64, horizon_s: f64) -> Self {
         assert!(horizon_s > 0.0, "degenerate horizon");
         let mut out = self.events.clone();
@@ -609,22 +993,35 @@ impl FaultPlan {
                 let Some(esc) = &ev.escalates_to else {
                     continue;
                 };
-                let mut rng = FaultRng::new(seed ^ event_hash(ev));
-                if rng.unit() >= esc.probability {
-                    continue;
-                }
-                let at_s = ev.at_s + esc.delay_s;
-                if at_s >= horizon_s {
-                    continue;
-                }
-                let spawned = FaultEvent {
-                    at_s,
-                    kind: esc.kind,
-                    escalates_to: esc.then.as_deref().cloned(),
-                };
-                if !out.contains(&spawned) {
-                    out.push(spawned.clone());
-                    next.push(spawned);
+                let eh = event_hash(ev);
+                for (i, child) in esc.children.iter().enumerate() {
+                    let salt = (i as u64).wrapping_mul(CHILD_SALT);
+                    let mut rng = FaultRng::new(seed ^ eh ^ salt);
+                    if rng.unit() >= child.probability {
+                        continue;
+                    }
+                    for target in child.scope.expand(&ev.kind, &mut rng) {
+                        let mut at_s = ev.at_s + child.delay_s;
+                        if child.jitter_s > 0.0 {
+                            at_s += rng.range(0.0, child.jitter_s);
+                        }
+                        if at_s >= horizon_s {
+                            continue;
+                        }
+                        let kind = match target {
+                            Some(t) => retarget(child.kind, t),
+                            None => child.kind,
+                        };
+                        let spawned = FaultEvent {
+                            at_s,
+                            kind,
+                            escalates_to: child.then.as_deref().cloned(),
+                        };
+                        if !out.contains(&spawned) {
+                            out.push(spawned.clone());
+                            next.push(spawned);
+                        }
+                    }
                 }
             }
             if next.is_empty() {
@@ -1056,6 +1453,293 @@ mod tests {
         // [0,15): 5 s at 0.5, 5 s at 0.25, 5 s at 0.5 → mean 5/12.
         let e = p.effects_over(0.0, 15.0);
         assert!((e.net_bw_factor - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    /// The pre-fan-out escalation hash, re-implemented byte for byte:
+    /// `0xe5c, kind, delay, prob`, then the chained hop. The new
+    /// `mix_esc` must reproduce it exactly on single-child chains.
+    fn legacy_mix_chain(h: &mut u64, hops: &[(FaultKind, f64, f64)]) {
+        for (kind, delay_s, probability) in hops {
+            fnv_mix(h, 0xe5c);
+            mix_kind(h, kind);
+            fnv_mix(h, delay_s.to_bits());
+            fnv_mix(h, probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_chain_fingerprint_matches_pre_fanout_format() {
+        let storm = FaultKind::PcieCrcStorm {
+            stall_s: 1e-4,
+            duration_s: 5.0,
+        };
+        let hops = [
+            (FaultKind::CardDeath { card: 1 }, 2.0, 0.5),
+            (FaultKind::HostDeath { rank: 3 }, 1.5, 0.25),
+        ];
+        let plan = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation::new(hops[0].0, hops[0].1, hops[0].2)
+                .chain(Escalation::new(hops[1].0, hops[1].1, hops[1].2)),
+        );
+        let mut h = FNV_OFFSET;
+        fnv_mix(&mut h, 10.0f64.to_bits());
+        mix_kind(&mut h, &storm);
+        legacy_mix_chain(&mut h, &hops);
+        assert_eq!(plan.fingerprint(), h, "single-chain digest drifted");
+    }
+
+    #[test]
+    fn fan_scope_and_jitter_each_change_the_fingerprint() {
+        let storm = FaultKind::PcieCrcStorm {
+            stall_s: 1e-4,
+            duration_s: 5.0,
+        };
+        let child = ChildSpec::new(FaultKind::CardDeath { card: 0 }, 2.0, 0.5);
+        let single =
+            FaultPlan::none().with_cascade(10.0, storm, Escalation::fan(vec![child.clone()]));
+        let fanned = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation::fan(vec![
+                child.clone(),
+                ChildSpec::new(FaultKind::HostDeath { rank: 0 }, 1.0, 0.5),
+            ]),
+        );
+        let scoped = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation::fan(vec![child.clone().with_scope(Scope::SameHost { cards: 2 })]),
+        );
+        let jittered = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation::fan(vec![child.with_jitter(0.5)]),
+        );
+        let prints = [
+            single.fingerprint(),
+            fanned.fingerprint(),
+            scoped.fingerprint(),
+            jittered.fingerprint(),
+        ];
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "variants {i} and {j} alias");
+            }
+        }
+        // A one-child fan is exactly the single-child constructor.
+        let direct = FaultPlan::none().with_cascade(
+            10.0,
+            storm,
+            Escalation::new(FaultKind::CardDeath { card: 0 }, 2.0, 0.5),
+        );
+        assert_eq!(single.fingerprint(), direct.fingerprint());
+    }
+
+    #[test]
+    fn rank_set_fan_kills_the_whole_correlated_set_in_one_step() {
+        let ranks: Vec<usize> = (40..48).collect();
+        let p = FaultPlan::none()
+            .with_cascade(
+                10.0,
+                FaultKind::LinkDegrade {
+                    factor: 0.1,
+                    duration_s: 5.0,
+                },
+                Escalation::fan(vec![ChildSpec::new(
+                    FaultKind::HostDeath { rank: 0 },
+                    1.0,
+                    1.0,
+                )
+                .with_scope(Scope::RankSet(ranks.clone()))]),
+            )
+            .resolved(42, 100.0);
+        assert_eq!(p.total_host_deaths(), ranks.len());
+        let mut dead: Vec<usize> = p
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::HostDeath { rank } => Some(rank),
+                _ => None,
+            })
+            .collect();
+        dead.sort_unstable();
+        assert_eq!(dead, ranks, "exactly the declared rank set dies");
+        // One correlated draw: zero jitter lands the whole set on the
+        // same onset, one resolution step after the parent.
+        for ev in p.events().iter().filter(|e| e.kind.is_permanent()) {
+            assert_eq!(ev.at_s.to_bits(), 11.0f64.to_bits());
+        }
+        // Replays bit-identically.
+        assert_eq!(
+            p.fingerprint(),
+            FaultPlan::none()
+                .with_cascade(
+                    10.0,
+                    FaultKind::LinkDegrade {
+                        factor: 0.1,
+                        duration_s: 5.0,
+                    },
+                    Escalation::fan(vec![ChildSpec::new(
+                        FaultKind::HostDeath { rank: 0 },
+                        1.0,
+                        1.0,
+                    )
+                    .with_scope(Scope::RankSet(ranks))]),
+                )
+                .resolved(42, 100.0)
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn same_host_fan_strikes_every_card_once() {
+        let p = FaultPlan::none()
+            .with_cascade(
+                5.0,
+                FaultKind::PcieCrcStorm {
+                    stall_s: 2e-4,
+                    duration_s: 4.0,
+                },
+                Escalation::fan(vec![ChildSpec::new(
+                    FaultKind::CardDeath { card: 0 },
+                    1.0,
+                    1.0,
+                )
+                .with_scope(Scope::SameHost { cards: 4 })]),
+            )
+            .resolved(7, 100.0);
+        assert_eq!(p.total_card_deaths(), 4);
+        let mut cards: Vec<usize> = p
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::CardDeath { card } => Some(card),
+                _ => None,
+            })
+            .collect();
+        cards.sort_unstable();
+        assert_eq!(cards, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fraction_scope_is_keyed_on_the_event_hash() {
+        let fan = |at_s: f64| {
+            FaultPlan::none()
+                .with_cascade(
+                    at_s,
+                    FaultKind::LinkDegrade {
+                        factor: 0.2,
+                        duration_s: 5.0,
+                    },
+                    Escalation::fan(vec![ChildSpec::new(
+                        FaultKind::HostDeath { rank: 0 },
+                        1.0,
+                        1.0,
+                    )
+                    .with_scope(Scope::Fraction { f: 0.3, of: 100 })]),
+                )
+                .resolved(11, 1000.0)
+        };
+        // Same event → same subset; a different event hash → a
+        // different (here: almost surely different) subset.
+        assert_eq!(fan(10.0), fan(10.0));
+        let a: Vec<FaultKind> = fan(10.0).events().iter().map(|e| e.kind).collect();
+        let b: Vec<FaultKind> = fan(20.0).events().iter().map(|e| e.kind).collect();
+        assert_ne!(a, b);
+        // Membership probability 0.3 over 100 ranks: some but not all.
+        let n = fan(10.0).total_host_deaths();
+        assert!(n > 0 && n < 100, "implausible fraction draw: {n}");
+    }
+
+    #[test]
+    fn sibling_duplicate_spawns_are_deduped() {
+        // Two children declaring the identical spawn (same kind, same
+        // delay, no chain): the plan gains the event once.
+        let child = ChildSpec::new(FaultKind::CardDeath { card: 0 }, 2.0, 1.0);
+        let p = FaultPlan::none()
+            .with_cascade(
+                10.0,
+                FaultKind::PcieCrcStorm {
+                    stall_s: 1e-4,
+                    duration_s: 5.0,
+                },
+                Escalation::fan(vec![child.clone(), child]),
+            )
+            .resolved(3, 100.0);
+        assert_eq!(p.total_card_deaths(), 1);
+    }
+
+    #[test]
+    fn fan_out_resolution_is_order_independent_and_idempotent() {
+        let a = FaultEvent {
+            at_s: 5.0,
+            kind: FaultKind::PcieCrcStorm {
+                stall_s: 2e-4,
+                duration_s: 4.0,
+            },
+            escalates_to: Some(Escalation::fan(vec![
+                ChildSpec::new(FaultKind::CardDeath { card: 0 }, 1.0, 0.9)
+                    .with_scope(Scope::SameHost { cards: 2 }),
+                ChildSpec::new(FaultKind::HostDeath { rank: 1 }, 2.0, 0.6),
+            ])),
+        };
+        let b = FaultEvent {
+            at_s: 20.0,
+            kind: FaultKind::LinkDegrade {
+                factor: 0.3,
+                duration_s: 6.0,
+            },
+            escalates_to: Some(Escalation::fan(vec![ChildSpec::new(
+                FaultKind::HostDeath { rank: 0 },
+                1.0,
+                0.9,
+            )
+            .with_scope(Scope::RankSet(vec![3, 4, 5]))
+            .with_jitter(0.25)])),
+        };
+        let fwd = FaultPlan::from_events(vec![a.clone(), b.clone()]).resolved(11, 100.0);
+        let rev = FaultPlan::from_events(vec![b, a]).resolved(11, 100.0);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+        assert_eq!(fwd.resolved(11, 100.0), fwd);
+    }
+
+    #[test]
+    fn fleet_campaign_is_deterministic_and_inside_horizon() {
+        for scope in CampaignScope::ALL {
+            let a = FaultPlan::fleet_campaign(42, 3600.0, 12, 100, 2, scope);
+            let b = FaultPlan::fleet_campaign(42, 3600.0, 12, 100, 2, scope);
+            assert_eq!(a, b, "{scope:?}");
+            assert_ne!(
+                a.fingerprint(),
+                FaultPlan::fleet_campaign(43, 3600.0, 12, 100, 2, scope).fingerprint(),
+                "{scope:?}"
+            );
+            for ev in a.events() {
+                assert!(ev.at_s < 3600.0, "{scope:?}");
+                if let FaultKind::HostDeath { rank } = ev.kind {
+                    assert!(rank < 100, "{scope:?}");
+                }
+            }
+        }
+        // Rack campaigns actually produce correlated multi-rank deaths
+        // somewhere across a handful of seeds.
+        let batch: usize = (0..8)
+            .map(|s| FaultPlan::fleet_campaign(s, 3600.0, 12, 100, 2, CampaignScope::Rack))
+            .map(|p| p.total_host_deaths())
+            .sum();
+        assert!(batch >= 8, "rack campaigns too quiet: {batch} deaths");
+    }
+
+    #[test]
+    fn campaign_scope_names_round_trip() {
+        for scope in CampaignScope::ALL {
+            assert_eq!(CampaignScope::parse(scope.name()), Some(scope));
+        }
+        assert_eq!(CampaignScope::parse("bogus"), None);
+        assert_eq!(CampaignScope::default(), CampaignScope::Mixed);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! crate: the generator is the workspace's own [`FaultRng`], so every
 //! "random" case replays bit-identically from the seeds below.
 
-use phi_faults::{Escalation, FaultEvent, FaultKind, FaultPlan, FaultRng, MAX_CASCADE_DEPTH};
+use phi_faults::{
+    ChildSpec, Escalation, FaultEvent, FaultKind, FaultPlan, FaultRng, Scope, MAX_CASCADE_DEPTH,
+};
 
 /// Draws one random event (possibly carrying an escalation edge).
 fn random_event(rng: &mut FaultRng, horizon: f64) -> FaultEvent {
@@ -200,7 +202,9 @@ fn resolution_is_deterministic_idempotent_and_order_free() {
         let mut damp = events.clone();
         for ev in &mut damp {
             if let Some(esc) = &mut ev.escalates_to {
-                esc.probability = 0.0;
+                for child in &mut esc.children {
+                    child.probability = 0.0;
+                }
             }
         }
         let damped = FaultPlan::from_events(damp.clone()).resolved(seed, horizon);
@@ -343,10 +347,179 @@ fn fingerprint_stable_under_chain_declaration_order() {
     // But trimming one hop off any chain changes the digest.
     let mut trimmed = events.clone();
     let esc = trimmed[3].escalates_to.take().unwrap();
-    trimmed[3].escalates_to = Some(Escalation::new(esc.kind, esc.delay_s, esc.probability));
+    let head = &esc.children[0];
+    trimmed[3].escalates_to = Some(Escalation::new(head.kind, head.delay_s, head.probability));
     let plain = FaultPlan::from_events(trimmed.clone());
     if events[3].escalates_to.as_ref().unwrap().hops() > 1 {
         assert_ne!(plain.fingerprint(), reference);
+    }
+}
+
+/// One random fan-out child: every scope variant, sometimes jittered.
+fn random_child(rng: &mut FaultRng, horizon: f64) -> ChildSpec {
+    let kind = if rng.unit() < 0.5 {
+        FaultKind::CardDeath {
+            card: rng.index(0, 4),
+        }
+    } else {
+        FaultKind::HostDeath {
+            rank: rng.index(0, 100),
+        }
+    };
+    let scope = match rng.index(0, 5) {
+        0 => Scope::Single,
+        1 => Scope::SameCard,
+        2 => Scope::SameHost {
+            cards: rng.index(1, 5),
+        },
+        3 => {
+            let start = rng.index(0, 92);
+            Scope::RankSet((start..start + rng.index(1, 9)).collect())
+        }
+        _ => Scope::Fraction {
+            f: rng.range(0.05, 0.6),
+            of: rng.index(10, 100),
+        },
+    };
+    let mut child = ChildSpec::new(kind, rng.range(0.0, 0.4) * horizon, rng.unit());
+    child = child.with_scope(scope);
+    if rng.unit() < 0.5 {
+        child = child.with_jitter(rng.range(0.0, 0.05) * horizon);
+    }
+    child
+}
+
+/// A random event carrying a multi-child fan-out edge, some children
+/// chained a hop deeper.
+fn random_fan_event(rng: &mut FaultRng, horizon: f64) -> FaultEvent {
+    let mut ev = random_event(rng, horizon);
+    let mut esc = Escalation::fan(vec![random_child(rng, horizon)]);
+    while rng.unit() < 0.5 {
+        esc = esc.also(random_child(rng, horizon));
+    }
+    if rng.unit() < 0.4 {
+        esc = esc.chain(random_escalation(rng, horizon));
+    }
+    ev.escalates_to = Some(esc);
+    ev
+}
+
+#[test]
+fn fan_out_resolution_is_order_independent_and_idempotent() {
+    for seed in [21u64, 0xFA27, 0xACE] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(20.0, 400.0);
+        let events: Vec<FaultEvent> = (0..8)
+            .map(|_| random_fan_event(&mut rng, horizon))
+            .collect();
+        let once = FaultPlan::from_events(events.clone()).resolved(seed, horizon);
+        for _ in 0..6 {
+            let mut perm = events.clone();
+            shuffle(&mut perm, &mut rng);
+            assert_eq!(
+                FaultPlan::from_events(perm).resolved(seed, horizon),
+                once,
+                "seed {seed}"
+            );
+        }
+        assert_eq!(once.resolved(seed, horizon), once, "seed {seed}");
+        assert_eq!(
+            FaultPlan::from_events(once.events().to_vec()).resolved(seed, horizon),
+            once,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn correlated_draws_are_identical_under_thread_count_changes() {
+    // The correlated sets are keyed on (seed, event hash) alone, so
+    // resolving the same plans concurrently — at any thread count, in
+    // any scheduling order — must land on byte-identical results.
+    for seed in [22u64, 0xFEE7] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(20.0, 400.0);
+        let plans: Vec<FaultPlan> = (0..16)
+            .map(|_| {
+                let events: Vec<FaultEvent> = (0..6)
+                    .map(|_| random_fan_event(&mut rng, horizon))
+                    .collect();
+                FaultPlan::from_events(events)
+            })
+            .collect();
+        let serial: Vec<FaultPlan> = plans.iter().map(|p| p.resolved(seed, horizon)).collect();
+        for nthreads in [1usize, 2, 8] {
+            let mut slots: Vec<Option<FaultPlan>> = vec![None; plans.len()];
+            std::thread::scope(|s| {
+                for (t, chunk) in slots.chunks_mut(plans.len().div_ceil(nthreads)).enumerate() {
+                    let base = t * plans.len().div_ceil(nthreads);
+                    let plans = &plans;
+                    s.spawn(move || {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(plans[base + k].resolved(seed, horizon));
+                        }
+                    });
+                }
+            });
+            let threaded: Vec<FaultPlan> = slots.into_iter().map(|p| p.unwrap()).collect();
+            assert_eq!(threaded, serial, "seed {seed} nthreads {nthreads}");
+        }
+    }
+}
+
+#[test]
+fn fan_out_children_respect_depth_and_horizon_bounds() {
+    for seed in [23u64, 0xBAD5, 0x777] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = rng.range(5.0, 200.0);
+        let events: Vec<FaultEvent> = (0..12)
+            .map(|_| random_fan_event(&mut rng, horizon))
+            .collect();
+        let plan = FaultPlan::from_events(events);
+        for ev in plan.events() {
+            if let Some(esc) = &ev.escalates_to {
+                assert!(esc.hops() <= MAX_CASCADE_DEPTH, "seed {seed}");
+            }
+        }
+        let resolved = plan.resolved(seed, horizon);
+        for ev in resolved.events() {
+            assert!(
+                ev.at_s < horizon,
+                "seed {seed}: spawn at {} past horizon {horizon}",
+                ev.at_s
+            );
+            if let Some(esc) = &ev.escalates_to {
+                assert!(esc.hops() <= MAX_CASCADE_DEPTH, "seed {seed}");
+            }
+        }
+        assert_eq!(resolved.resolved(seed, horizon), resolved, "seed {seed}");
+    }
+}
+
+#[test]
+fn duplicate_spawns_across_sibling_children_are_deduped() {
+    for seed in [24u64, 0xD0D0] {
+        let mut rng = FaultRng::new(seed);
+        let horizon = 500.0;
+        // Every sibling declares the identical certain spawn; the
+        // resolved plan must gain it exactly once per distinct target.
+        let child = ChildSpec::new(FaultKind::HostDeath { rank: 0 }, 1.0, 1.0)
+            .with_scope(Scope::RankSet(vec![5, 6, 7]));
+        let siblings = 2 + rng.index(0, 4);
+        let ev = FaultEvent {
+            at_s: rng.range(0.0, 100.0),
+            kind: FaultKind::LinkDegrade {
+                factor: 0.2,
+                duration_s: 5.0,
+            },
+            escalates_to: Some(Escalation::fan(vec![child; siblings])),
+        };
+        let resolved = FaultPlan::from_events(vec![ev]).resolved(seed, horizon);
+        assert_eq!(
+            resolved.total_host_deaths(),
+            3,
+            "seed {seed}: {siblings} identical siblings must dedup to one set"
+        );
     }
 }
 
