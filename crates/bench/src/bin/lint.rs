@@ -1,12 +1,27 @@
 //! Runs the `phi-lint` static↔dynamic consistency gate: analyzes the
 //! Fig. 2 kernels, cross-checks the static cycle bound against the
 //! emulator, and proves every diagnostic on its broken fixture. Exits
-//! non-zero on any violation (the CI gate).
+//! non-zero on any violation (the CI gate). `--json` emits the
+//! machine-readable report CI uploads as an artifact.
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut json = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("unrecognized argument `{other}` (expected --json)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let gate = phi_bench::lintgate::run();
-    print!("{}", gate.render());
+    if json {
+        print!("{}", gate.render_json());
+    } else {
+        print!("{}", gate.render());
+    }
     if gate.passed() {
         ExitCode::SUCCESS
     } else {

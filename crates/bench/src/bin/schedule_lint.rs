@@ -1,0 +1,53 @@
+//! Runs the `phi-lint` schedule-verification gate: materializes every
+//! communication-grid regime the fault-tolerant simulators can route
+//! through, proves each plan deadlock-free and each ownership map
+//! exactly-once/conserving, scans the simulator crates for determinism
+//! hazards, and proves every schedule diagnostic on its broken fixture.
+//! Exits non-zero on any violation (the CI gate).
+//!
+//! `--json` emits the machine-readable report CI uploads as an
+//! artifact; `--root <dir>` overrides the workspace root the
+//! determinism scan walks.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = phi_bench::schedlint::workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = p.into(),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unrecognized argument `{other}` (expected --json or --root <dir>)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let gate = match phi_bench::schedlint::run(&root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!(
+                "schedule-lint: determinism scan failed under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", gate.render_json());
+    } else {
+        print!("{}", gate.render());
+    }
+    if gate.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -16,6 +16,7 @@ pub mod fleet;
 pub mod format;
 pub mod lintgate;
 pub mod perfgate;
+pub mod schedlint;
 pub mod tune;
 
 pub use experiments::*;

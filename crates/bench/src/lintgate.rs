@@ -181,6 +181,54 @@ impl LintGate {
     }
 }
 
+impl LintGate {
+    /// Renders the machine-readable report the CI job uploads as an
+    /// artifact: kernel verdicts (with stable `K###`-coded finding
+    /// counts) plus the fixture self-test.
+    pub fn render_json(&self) -> String {
+        use phi_lint::diag::json_escape;
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                format!(
+                    "{{\"kernel\":\"{}\",\"fmadds\":{},\"u_slots\":{},\"static_cycles\":{:.6},\
+                     \"measured_cycles\":{:.6},\"rel_err\":{:.6},\"errors\":{},\"warnings\":{},\
+                     \"passed\":{}}}",
+                    json_escape(k.kernel),
+                    k.fmadds,
+                    k.u_slots,
+                    k.static_cycles,
+                    k.measured_cycles,
+                    k.rel_err(),
+                    k.errors,
+                    k.warnings,
+                    k.passed()
+                )
+            })
+            .collect();
+        let fixtures: Vec<String> = self
+            .fixtures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"name\":\"{}\",\"expect\":\"{}\",\"fired\":{}}}",
+                    json_escape(f.name),
+                    f.expect,
+                    f.fired
+                )
+            })
+            .collect();
+        format!(
+            "{{\"gate\":\"lint\",\"passed\":{},\"tolerance\":{TOLERANCE},\"kernels\":[{}],\
+             \"fixtures\":[{}]}}\n",
+            self.passed(),
+            kernels.join(","),
+            fixtures.join(",")
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +241,8 @@ mod tests {
         assert!(text.contains("31/32") && text.contains("30/32"), "{text}");
         assert!(text.contains("gate: PASS"), "{text}");
         assert_eq!(gate.fixtures.len(), phi_lint::LintKind::all_names().len());
+        let j = gate.render_json();
+        assert!(j.starts_with("{\"gate\":\"lint\",\"passed\":true"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
     }
 }

@@ -184,6 +184,14 @@ pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
             name: "fanout_resolution_throughput",
             value: fanout_resolution_throughput(),
         },
+        // Send/recv operations the schedule-lint reference sweep
+        // proves. A pure deterministic count (no wall clock): it moves
+        // only when the sweep's regime or schedule coverage changes —
+        // a silent shrink in verification coverage fails the gate.
+        Metric {
+            name: "schedule_lint_throughput",
+            value: crate::schedlint::reference_sweep_ops(),
+        },
     ])
 }
 
@@ -494,7 +502,12 @@ mod tests {
         let a = collect_metrics(&dir).unwrap();
         let b = collect_metrics(&dir).unwrap();
         assert_eq!(a, b, "gate metrics must be deterministic");
-        assert_eq!(a.len(), 9);
+        assert_eq!(a.len(), 10);
+        let sched = a
+            .iter()
+            .find(|m| m.name == "schedule_lint_throughput")
+            .unwrap();
+        assert!(sched.value > 10_000.0, "sweep shrank to {}", sched.value);
         let p99 = a.iter().find(|m| m.name == "fleet_p99_time_s").unwrap();
         assert!(p99.value > 0.0);
         let thr = a

@@ -65,8 +65,8 @@ use super::{
 };
 use crate::report::{FaultSummary, GigaflopsReport};
 use phi_des::{Kind, Trace};
-use phi_fabric::{ProcessGrid, RemapStrategy};
-use phi_faults::{Effects, FaultKind, FaultPlan};
+use phi_fabric::{ProcessGrid, RemapStrategy, ScheduleShape};
+use phi_faults::{Effects, FaultPlan};
 
 /// Fault-tolerance policy of the run: what the cluster pays up front
 /// (checkpoints) and what recovery costs when a card dies.
@@ -409,14 +409,7 @@ pub fn simulate_cluster_faulty(
                 // Locality-preserving patch: only the newly dead ranks'
                 // block-cyclic trailing share moves; everyone else's
                 // blocks stay put.
-                let dead_ranks: Vec<usize> = plan
-                    .events()
-                    .iter()
-                    .filter_map(|ev| match ev.kind {
-                        FaultKind::HostDeath { rank } => Some(rank % cfg.grid.size()),
-                        _ => None,
-                    })
-                    .collect();
+                let dead_ranks = plan.host_death_ranks(cfg.grid.size());
                 let mut moved_elems = 0.0f64;
                 for &rank in &dead_ranks[hosts_applied..hosts_now] {
                     if patched_dead.contains(&rank) {
@@ -550,6 +543,63 @@ pub fn simulate_cluster_faulty(
         },
         trace,
     }
+}
+
+/// Every communication-grid regime `simulate_cluster_faulty` can route
+/// through under `plan` and `policy`, in the order entered: the healthy
+/// grid, then one [`ScheduleShape`] per applied host death — patched
+/// shapes accumulate dead ranks on the original grid; once the death
+/// budget is blown (or under [`RemapStrategy::Wholesale`]) the shapes
+/// switch to fallback grids that shrink with the survivor count.
+///
+/// Deaths are replayed one per boundary — the finest batching the
+/// simulator can experience — so verifying every shape returned here
+/// proves any coarser batching safe. This is the contract the
+/// `schedule-lint` gate checks: each shape's broadcast/swap plans must
+/// verify deadlock-free before the simulator's analytic times mean
+/// anything.
+pub fn recovery_regimes(
+    cfg: &HybridConfig,
+    plan: &FaultPlan,
+    policy: &FtPolicy,
+) -> Vec<ScheduleShape> {
+    let size = cfg.grid.size();
+    let budget = policy.death_budget.unwrap_or(size / 8);
+    let mut shapes = vec![ScheduleShape::healthy(cfg.grid)];
+    let mut patched_dead: Vec<usize> = Vec::new();
+    let mut reshaped = false;
+    let mut applied = 0usize;
+    for rank in plan.host_death_ranks(size) {
+        // The simulator never applies more deaths than leave a survivor.
+        if applied + 1 > size.saturating_sub(1) {
+            break;
+        }
+        let hosts_now = applied + 1;
+        let survivors = size - hosts_now;
+        let patchable = policy.remap == RemapStrategy::Patch && !reshaped && hosts_now <= budget;
+        let shape = if patchable {
+            if !patched_dead.contains(&rank) {
+                patched_dead.push(rank);
+            }
+            ScheduleShape {
+                grid: cfg.grid,
+                dead_ranks: patched_dead.clone(),
+                reshaped: false,
+            }
+        } else {
+            reshaped = true;
+            ScheduleShape {
+                grid: ProcessGrid::fallback_grid(survivors),
+                dead_ranks: Vec::new(),
+                reshaped: true,
+            }
+        };
+        if shapes.last() != Some(&shape) {
+            shapes.push(shape);
+        }
+        applied = hosts_now;
+    }
+    shapes
 }
 
 #[cfg(test)]
@@ -905,5 +955,46 @@ mod tests {
             true,
         );
         assert_ne!(a.run_fingerprint(), other.run_fingerprint());
+    }
+
+    #[test]
+    fn recovery_regimes_track_patch_then_reshape() {
+        let c = cfg(336_000, 4, 4, 2);
+        // No deaths: just the healthy shape.
+        let shapes = recovery_regimes(&c, &FaultPlan::none(), &FtPolicy::default());
+        assert_eq!(shapes.len(), 1);
+        assert!(shapes[0].dead_ranks.is_empty() && !shapes[0].reshaped);
+
+        // Three deaths under a budget of 2: two patched shapes on the
+        // original grid, then a wholesale fallback.
+        let plan = FaultPlan::none()
+            .with_event(1.0, FaultKind::HostDeath { rank: 3 })
+            .with_event(2.0, FaultKind::HostDeath { rank: 7 })
+            .with_event(3.0, FaultKind::HostDeath { rank: 11 });
+        let policy = FtPolicy::default().with_death_budget(2);
+        let shapes = recovery_regimes(&c, &plan, &policy);
+        assert_eq!(shapes.len(), 4);
+        assert_eq!(shapes[1].dead_ranks, vec![3]);
+        assert_eq!(shapes[2].dead_ranks, vec![3, 7]);
+        assert!(shapes[3].reshaped, "third death blows the budget");
+        // The fallback grid re-forms from the 13 survivors, idling at
+        // most the 1/8 allowance; the dead set is renumbered away.
+        assert!(shapes[3].dead_ranks.is_empty());
+        assert!((12..=13).contains(&shapes[3].grid.size()));
+
+        // Wholesale policy reshapes from the first death.
+        let w = recovery_regimes(
+            &c,
+            &plan,
+            &FtPolicy::default().with_remap(RemapStrategy::Wholesale),
+        );
+        assert!(w[1..].iter().all(|s| s.reshaped));
+
+        // A duplicate death event changes nothing patch-side.
+        let dup = plan
+            .clone()
+            .with_event(4.0, FaultKind::HostDeath { rank: 3 });
+        let d = recovery_regimes(&c, &dup, &policy);
+        assert_eq!(d.last(), shapes.last());
     }
 }

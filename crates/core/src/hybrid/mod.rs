@@ -27,7 +27,7 @@
 pub mod faulty;
 pub mod stage_gantt;
 
-pub use faulty::{simulate_cluster_faulty, FaultyClusterResult, FtPolicy};
+pub use faulty::{recovery_regimes, simulate_cluster_faulty, FaultyClusterResult, FtPolicy};
 
 use crate::offload::OffloadModel;
 use crate::report::GigaflopsReport;

@@ -15,7 +15,7 @@
 //! for energy efficiency; see [`crate::energy`] for that comparison.
 
 use crate::report::GigaflopsReport;
-use phi_fabric::{NetModel, PatchRemap, ProcessGrid, RemapStrategy};
+use phi_fabric::{NetModel, PatchRemap, ProcessGrid, RemapStrategy, ScheduleShape};
 use phi_knc::{KncChip, LuTaskModel, Precision};
 
 /// Configuration of a native multi-node run.
@@ -216,15 +216,7 @@ pub fn simulate_native_cluster_ft(
             };
             let redistribution = match remap {
                 RemapStrategy::Patch => {
-                    let dead_nodes: Vec<usize> = plan
-                        .events()
-                        .iter()
-                        .filter_map(|ev| match ev.kind {
-                            phi_faults::FaultKind::CardDeath { card } => Some(card % size),
-                            phi_faults::FaultKind::HostDeath { rank } => Some(rank % size),
-                            _ => None,
-                        })
-                        .collect();
+                    let dead_nodes = plan.node_death_ranks(size);
                     let mut moved_elems = 0.0f64;
                     for &node in &dead_nodes[nodes_lost..lost_now] {
                         if patched_dead.contains(&node) {
@@ -290,6 +282,40 @@ pub fn simulate_native_cluster_ft(
         healthy_time_s: healthy.time_s,
         healthy_gflops: healthy.gflops,
     })
+}
+
+/// Every communication-grid regime [`simulate_native_cluster_ft`] can
+/// route through under `plan`: the healthy grid, then one
+/// [`ScheduleShape`] per applied node death. The native flavour never
+/// reshapes — the grid keeps its coordinates and survivors route around
+/// the dead ranks — so every shape sits on the original grid with an
+/// accumulating dead set, regardless of [`RemapStrategy`] (the strategy
+/// only prices how the blocks travel, not who talks to whom). Deaths
+/// replay one per boundary, the finest batching the simulator can see;
+/// verifying each shape proves any coarser batching safe.
+pub fn native_recovery_regimes(
+    cfg: &NativeClusterConfig,
+    plan: &phi_faults::FaultPlan,
+) -> Vec<ScheduleShape> {
+    let size = cfg.grid.size();
+    let mut shapes = vec![ScheduleShape::healthy(cfg.grid)];
+    let mut dead: Vec<usize> = Vec::new();
+    // The simulator caps deaths at `size - 1`: a survivor remains.
+    for rank in plan
+        .node_death_ranks(size)
+        .into_iter()
+        .take(size.saturating_sub(1))
+    {
+        if !dead.contains(&rank) {
+            dead.push(rank);
+            shapes.push(ScheduleShape {
+                grid: cfg.grid,
+                dead_ranks: dead.clone(),
+                reshaped: false,
+            });
+        }
+    }
+    shapes
 }
 
 /// One stage of the native-cluster loop — the same arithmetic as the
@@ -469,6 +495,22 @@ mod tests {
         let again = simulate_native_cluster_ft(&cfg, &plan, true, RemapStrategy::Patch);
         assert_eq!(ft.time_s.to_bits(), again.time_s.to_bits());
         assert_eq!(f.plan_fingerprint, again.faults.unwrap().plan_fingerprint);
+    }
+
+    #[test]
+    fn native_regimes_keep_the_grid_and_accumulate_deaths() {
+        use phi_faults::{FaultKind, FaultPlan};
+        let cfg = NativeClusterConfig::new(50_000, 2, 3);
+        assert_eq!(native_recovery_regimes(&cfg, &FaultPlan::none()).len(), 1);
+        let plan = FaultPlan::none()
+            .with_event(1.0, FaultKind::CardDeath { card: 4 })
+            .with_event(2.0, FaultKind::HostDeath { rank: 1 })
+            .with_event(3.0, FaultKind::CardDeath { card: 4 });
+        let shapes = native_recovery_regimes(&cfg, &plan);
+        // Healthy, then {4}, then {4,1}; the duplicate adds nothing.
+        assert_eq!(shapes.len(), 3);
+        assert!(shapes.iter().all(|s| !s.reshaped && s.grid == cfg.grid));
+        assert_eq!(shapes[2].dead_ranks, vec![4, 1]);
     }
 
     #[test]

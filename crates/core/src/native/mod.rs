@@ -17,7 +17,10 @@ pub mod model;
 pub mod numeric;
 pub mod static_la;
 
-pub use cluster::{simulate_native_cluster, simulate_native_cluster_ft, NativeClusterConfig};
+pub use cluster::{
+    native_recovery_regimes, simulate_native_cluster, simulate_native_cluster_ft,
+    NativeClusterConfig,
+};
 pub use model::simulate_dynamic;
 pub use numeric::{factorize_parallel, solve_parallel};
 pub use static_la::simulate_static;

@@ -23,6 +23,7 @@ use phi_knc::{GemmModel, Precision};
 use phi_sched::TileDeque;
 use phi_xeon::XeonModel;
 use std::cell::RefCell;
+// lint:allow(unstable-iteration-order): membership tests only, never iterated.
 use std::collections::HashSet;
 use std::rc::Rc;
 
@@ -76,12 +77,12 @@ struct DesState {
     rows: Vec<(usize, usize)>,
     cols: Vec<(usize, usize)>,
     /// Per-card (strip kind, index) already transferred.
-    sent: Vec<HashSet<(u8, usize)>>,
+    sent: Vec<HashSet<(u8, usize)>>, // lint:allow(unstable-iteration-order)
     /// Per-card input-ready horizon per strip.
     to_device: Vec<phi_des::Link>,
     to_host: Vec<phi_des::Link>,
     pack: phi_des::Link,
-    strip_ready: Vec<std::collections::HashMap<(u8, usize), f64>>,
+    strip_ready: Vec<std::collections::HashMap<(u8, usize), f64>>, // lint:allow(unstable-iteration-order)
     card_busy: f64,
     card_done: f64,
     host_done: f64,
@@ -151,14 +152,14 @@ impl OffloadModel {
             tiles,
             rows,
             cols,
-            sent: vec![HashSet::new(); cards],
+            sent: vec![HashSet::new(); cards], // lint:allow(unstable-iteration-order)
             to_device: vec![phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency); cards],
             to_host: vec![phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency); cards],
             pack: phi_des::Link::new(
                 self.host.cfg.stream_bw_gbs * 1e9 * self.host.pack_bw_fraction,
                 0.0,
             ),
-            strip_ready: vec![std::collections::HashMap::new(); cards],
+            strip_ready: vec![std::collections::HashMap::new(); cards], // lint:allow(unstable-iteration-order)
             card_busy: 0.0,
             card_done: 0.0,
             host_done: 0.0,
@@ -403,7 +404,7 @@ impl OffloadModel {
         );
         let mut to_dev = phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency);
         let mut to_host = phi_des::Link::new(self.pcie.effective_bw, self.pcie.latency);
-        let mut sent: HashSet<(u8, usize)> = HashSet::new();
+        let mut sent: HashSet<(u8, usize)> = HashSet::new(); // lint:allow(unstable-iteration-order)
         let mut t_card = 0.0f64;
         let mut busy = 0.0f64;
         let mut card_done = 0.0f64;

@@ -41,6 +41,41 @@ impl RemapStrategy {
     }
 }
 
+/// Why a grid recovery operation cannot be performed. The panicking
+/// entry points ([`ProcessGrid::fallback_grid`],
+/// [`ProcessGrid::patch_remap`]) wrap the `try_` variants and panic
+/// with exactly this error's message, so callers that validated their
+/// inputs and callers that want a typed result see the same contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// `fallback_grid(0)`: no survivors to re-form a grid from.
+    NoSurvivors,
+    /// `patch_remap(dead_rank)` with `dead_rank >= size`: the rank is
+    /// not in the grid.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The grid's size.
+        size: usize,
+    },
+    /// `patch_remap` on a 1×1 grid: no survivors to patch onto.
+    SingletonGrid,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::NoSurvivors => write!(f, "no survivors to re-form a grid from"),
+            GridError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} not in the grid of {size} processes")
+            }
+            GridError::SingletonGrid => write!(f, "no survivors to patch onto"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// Position of a process in the grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GridCoord {
@@ -141,7 +176,20 @@ impl ProcessGrid {
     /// best score wins (larger `m` on ties). 99 survivors stay 9 × 11;
     /// a prime 97 idles seven ranks to re-form a near-square 9 × 10.
     pub fn fallback_grid(survivors: usize) -> Self {
-        assert!(survivors > 0, "no survivors to re-form a grid from");
+        match Self::try_fallback_grid(survivors) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Self::fallback_grid`]: returns
+    /// [`GridError::NoSurvivors`] for `survivors == 0` instead of
+    /// panicking. Recovery paths that derive the survivor count from
+    /// untrusted fault plans should prefer this.
+    pub fn try_fallback_grid(survivors: usize) -> Result<Self, GridError> {
+        if survivors == 0 {
+            return Err(GridError::NoSurvivors);
+        }
         let floor = survivors - survivors / 8;
         let mut best = (Self::new(1, 1), f64::NEG_INFINITY);
         for m in (floor..=survivors).rev() {
@@ -151,7 +199,7 @@ impl ProcessGrid {
                 best = (g, score);
             }
         }
-        best.0
+        Ok(best.0)
     }
 
     /// Locality-preserving remap after the death of `dead_rank`: the
@@ -160,15 +208,33 @@ impl ProcessGrid {
     /// survivors. The returned [`PatchRemap`] prices that move in O(1).
     ///
     /// # Panics
-    /// Panics when `dead_rank` is out of range or the grid has a single
-    /// process (nobody left to absorb the share).
+    /// Panics with the corresponding [`GridError`] message when
+    /// `dead_rank` is out of range ([`GridError::RankOutOfRange`]) or
+    /// the grid has a single process — nobody left to absorb the share
+    /// ([`GridError::SingletonGrid`]).
     pub fn patch_remap(&self, dead_rank: usize) -> PatchRemap {
-        assert!(dead_rank < self.size(), "rank {dead_rank} not in the grid");
-        assert!(self.size() > 1, "no survivors to patch onto");
-        PatchRemap {
+        match self.try_patch_remap(dead_rank) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Self::patch_remap`]: the same remap as a typed
+    /// result, rejecting a foreign `dead_rank` and the singleton grid.
+    pub fn try_patch_remap(&self, dead_rank: usize) -> Result<PatchRemap, GridError> {
+        if dead_rank >= self.size() {
+            return Err(GridError::RankOutOfRange {
+                rank: dead_rank,
+                size: self.size(),
+            });
+        }
+        if self.size() <= 1 {
+            return Err(GridError::SingletonGrid);
+        }
+        Ok(PatchRemap {
             grid: *self,
             dead: self.coord(dead_rank),
-        }
+        })
     }
 
     /// Per-rank load factor on the trailing update after `dead` ranks
@@ -437,6 +503,40 @@ mod tests {
     #[should_panic(expected = "no survivors to patch")]
     fn patch_remap_rejects_singleton_grid() {
         ProcessGrid::new(1, 1).patch_remap(0);
+    }
+
+    #[test]
+    fn typed_errors_mirror_the_panicking_contracts() {
+        assert_eq!(
+            ProcessGrid::try_fallback_grid(0),
+            Err(GridError::NoSurvivors)
+        );
+        assert_eq!(
+            ProcessGrid::try_fallback_grid(99),
+            Ok(ProcessGrid::new(9, 11))
+        );
+        let g = ProcessGrid::new(2, 2);
+        assert_eq!(
+            g.try_patch_remap(4),
+            Err(GridError::RankOutOfRange { rank: 4, size: 4 })
+        );
+        assert_eq!(
+            ProcessGrid::new(1, 1).try_patch_remap(0),
+            Err(GridError::SingletonGrid)
+        );
+        assert_eq!(g.try_patch_remap(3).unwrap(), g.patch_remap(3));
+        // The panic messages are exactly the typed errors' Display.
+        assert_eq!(
+            GridError::NoSurvivors.to_string(),
+            "no survivors to re-form a grid from"
+        );
+        assert!(GridError::RankOutOfRange { rank: 4, size: 4 }
+            .to_string()
+            .contains("not in the grid"));
+        assert_eq!(
+            GridError::SingletonGrid.to_string(),
+            "no survivors to patch onto"
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   collectives hybrid HPL exposes on its critical path: the panel
 //!   broadcast along a process row and the `U`/swap exchange along a
 //!   process column (Section V-A's "U broadcast" and "row swapping").
+//! * [`schedule`] — the same collectives materialized as message-level
+//!   send/recv programs ([`CommSchedule`]), routed around dead ranks,
+//!   so `phi-lint`'s schedule passes can prove every plan the
+//!   simulators emit deadlock-free before its analytic time is charged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +24,9 @@
 pub mod grid;
 pub mod net;
 pub mod pcie;
+pub mod schedule;
 
-pub use grid::{GridCoord, PatchRemap, ProcessGrid, RemapStrategy};
+pub use grid::{GridCoord, GridError, PatchRemap, ProcessGrid, RemapStrategy};
 pub use net::{BcastScheme, NetModel};
 pub use pcie::{MmQueue, PcieConfig, PcieLink};
+pub use schedule::{CommOp, CommSchedule, ScheduleBuilder, ScheduleShape};

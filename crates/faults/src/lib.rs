@@ -1042,6 +1042,36 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// Ranks killed by [`FaultKind::HostDeath`] events, onset-ordered,
+    /// each folded into `0..size` the way the recovery loops address a
+    /// grid (`rank % size`). Duplicates are kept — a rank named twice
+    /// in a plan is the caller's dedup decision, exactly as it was for
+    /// the inline filters this replaces.
+    pub fn host_death_ranks(&self, size: usize) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                FaultKind::HostDeath { rank } => Some(rank % size),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ranks killed by *any* permanent death, onset-ordered and folded
+    /// into `0..size`. In the native flavour a node *is* a card, so
+    /// [`FaultKind::CardDeath`] and [`FaultKind::HostDeath`] both name
+    /// a dying rank.
+    pub fn node_death_ranks(&self, size: usize) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                FaultKind::CardDeath { card } => Some(card % size),
+                FaultKind::HostDeath { rank } => Some(rank % size),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Instantaneous aggregate effects at simulated time `t`.
     /// Overlapping faults compose: bandwidth factors multiply, latency
     /// and stalls add, slowdowns multiply, card and host deaths

@@ -121,6 +121,25 @@ pub enum LintKind {
 }
 
 impl LintKind {
+    /// Stable diagnostic code (`K###` — kernel-pass family). Codes are
+    /// append-only: a kind keeps its code forever, so machine consumers
+    /// of the `--json` gate output can match on them across releases.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintKind::UninitializedRead { .. } => "K001",
+            LintKind::DeadStore { .. } => "K002",
+            LintKind::AccumulatorClobber { .. } => "K003",
+            LintKind::UnpairedVpipe => "K004",
+            LintKind::FillConflict { .. } => "K005",
+            LintKind::UnprefetchedStream { .. } => "K006",
+            LintKind::WritePortPressure => "K007",
+            LintKind::Misaligned { .. } => "K008",
+            LintKind::PartialLinePrefetch { .. } => "K009",
+            LintKind::ThreadOverlap { .. } => "K010",
+            LintKind::DuplicateSharedPrefetch => "K011",
+        }
+    }
+
     /// Stable kebab-case name, used by fixtures and gate tooling.
     pub fn name(&self) -> &'static str {
         match self {
@@ -212,14 +231,231 @@ impl Diagnostic {
 
     /// Renders as a compiler-style multi-line message.
     pub fn render(&self) -> String {
-        format!(
-            "{}[{}]: {} ({} instruction {})\n{}",
+        render_finding(
             self.severity,
+            self.kind.code(),
             self.kind.name(),
-            self.message,
-            self.region,
-            self.at,
-            self.excerpt
+            &self.message,
+            &format!("{} instruction {}", self.region, self.at),
+            &self.excerpt,
+        )
+    }
+}
+
+/// The one compiler-style rendering every lint family shares:
+/// `severity[CODE:name]: message (site)` followed by the excerpt.
+/// Kernel diagnostics ([`Diagnostic`]) and schedule diagnostics
+/// (`phi_lint::schedule`) both route through here so reports from the
+/// two gate binaries read identically.
+pub fn render_finding(
+    severity: Severity,
+    code: &str,
+    name: &str,
+    message: &str,
+    site: &str,
+    excerpt: &str,
+) -> String {
+    format!("{severity}[{code}:{name}]: {message} ({site})\n{excerpt}")
+}
+
+/// Escapes a string for inclusion in the hand-rolled JSON the lint
+/// binaries emit under `--json` (the workspace carries no JSON
+/// dependency; the emitters guarantee flat string/number fields).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The closed set of findings the schedule-analysis pass family can
+/// produce: channel-graph checks ([`crate::schedule`]), block-cyclic
+/// ownership proofs ([`crate::ownership`]) and determinism hazards
+/// ([`crate::determinism`]). Every kind has a broken fixture in its
+/// module and a stable `S###` code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// A cycle in the rendezvous wait-for graph: every rank on the
+    /// cycle is blocked on the next — the schedule deadlocks.
+    WaitCycle {
+        /// The ranks on the cycle, in wait order.
+        ranks: Vec<usize>,
+    },
+    /// A posted receive whose matching send exists nowhere in the
+    /// remaining schedule: the receiver starves forever.
+    OrphanReceiver {
+        /// The starving rank.
+        rank: usize,
+    },
+    /// A send no receiver ever consumes: under rendezvous semantics
+    /// the sender blocks forever (and under buffering it leaks).
+    UnmatchedSend {
+        /// The blocked sender.
+        rank: usize,
+    },
+    /// An operation executed by, or addressed to, a rank outside the
+    /// live set — a schedule still routing through a dead rank after a
+    /// patch remap, the exact hazard mid-run remapping introduces.
+    DeadRankOp {
+        /// The rank executing or addressed by the op.
+        rank: usize,
+    },
+    /// A (block-row, block-col) of the trailing matrix that no live
+    /// rank owns: its updates are silently dropped.
+    OwnershipGap {
+        /// Block row.
+        i: usize,
+        /// Block column.
+        j: usize,
+    },
+    /// A block owned by more than one rank: both apply the update and
+    /// the factorization diverges between owners.
+    OwnershipOverlap {
+        /// Block row.
+        i: usize,
+        /// Block column.
+        j: usize,
+    },
+    /// A remap whose declared transfer volume disagrees with the
+    /// ownership delta it actually performs — bytes redistributed out
+    /// of the dead ranks must equal bytes absorbed by survivors.
+    ConservationMismatch,
+    /// Schedule-assembly code drawing entropy from outside the plan
+    /// seed (wall clock, ambient RNG): replays stop being bit-identical.
+    SeedBypass,
+    /// Iteration over a hash-ordered container in schedule-assembly
+    /// code: the traversal order varies per process, so any derived
+    /// schedule or float accumulation varies with it.
+    UnstableIterationOrder,
+    /// A floating-point reduction over an unordered iterator: the
+    /// combine order, and therefore the rounded result, is not fixed.
+    UnorderedReduction,
+}
+
+impl SchedKind {
+    /// Stable diagnostic code (`S2##` channel graph, `S3##` ownership,
+    /// `S4##` determinism). Append-only, like [`LintKind::code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            SchedKind::WaitCycle { .. } => "S201",
+            SchedKind::OrphanReceiver { .. } => "S202",
+            SchedKind::UnmatchedSend { .. } => "S203",
+            SchedKind::DeadRankOp { .. } => "S204",
+            SchedKind::OwnershipGap { .. } => "S301",
+            SchedKind::OwnershipOverlap { .. } => "S302",
+            SchedKind::ConservationMismatch => "S303",
+            SchedKind::SeedBypass => "S401",
+            SchedKind::UnstableIterationOrder => "S402",
+            SchedKind::UnorderedReduction => "S403",
+        }
+    }
+
+    /// Stable kebab-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedKind::WaitCycle { .. } => "wait-cycle",
+            SchedKind::OrphanReceiver { .. } => "orphan-receiver",
+            SchedKind::UnmatchedSend { .. } => "unmatched-send",
+            SchedKind::DeadRankOp { .. } => "dead-rank-op",
+            SchedKind::OwnershipGap { .. } => "ownership-gap",
+            SchedKind::OwnershipOverlap { .. } => "ownership-overlap",
+            SchedKind::ConservationMismatch => "conservation-mismatch",
+            SchedKind::SeedBypass => "seed-bypass",
+            SchedKind::UnstableIterationOrder => "unstable-iteration-order",
+            SchedKind::UnorderedReduction => "unordered-reduction",
+        }
+    }
+
+    /// Every schedule-family kind is an error: a flagged schedule must
+    /// not run. (Audited benign occurrences of the determinism lints
+    /// are suppressed at the site with `lint:allow` markers, not
+    /// downgraded globally.)
+    pub fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    /// Every name, for exhaustiveness checks in the gates.
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "wait-cycle",
+            "orphan-receiver",
+            "unmatched-send",
+            "dead-rank-op",
+            "ownership-gap",
+            "ownership-overlap",
+            "conservation-mismatch",
+            "seed-bypass",
+            "unstable-iteration-order",
+            "unordered-reduction",
+        ]
+    }
+}
+
+/// One schedule-family finding: kind + site + context, rendered through
+/// the same [`render_finding`] pipeline as kernel diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchedDiagnostic {
+    /// What was found.
+    pub kind: SchedKind,
+    /// Always `kind.severity()`.
+    pub severity: Severity,
+    /// Where: a schedule label + rank/op, an ownership cell, or a
+    /// `file:line` for source-scan findings.
+    pub site: String,
+    /// Human explanation of this occurrence.
+    pub message: String,
+    /// Context excerpt: the offending op window, ownership neighborhood
+    /// or source line, `>`-marked like the disasm excerpts.
+    pub excerpt: String,
+}
+
+impl SchedDiagnostic {
+    /// Builds a finding.
+    pub fn new(
+        kind: SchedKind,
+        site: impl Into<String>,
+        message: impl Into<String>,
+        excerpt: impl Into<String>,
+    ) -> Self {
+        Self {
+            severity: kind.severity(),
+            kind,
+            site: site.into(),
+            message: message.into(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    /// Renders as a compiler-style multi-line message.
+    pub fn render(&self) -> String {
+        render_finding(
+            self.severity,
+            self.kind.code(),
+            self.kind.name(),
+            &self.message,
+            &self.site,
+            &self.excerpt,
+        )
+    }
+
+    /// Renders as one flat JSON object for the `--json` gate output.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"kind\":\"{}\",\"severity\":\"{}\",\"site\":\"{}\",\"message\":\"{}\"}}",
+            self.kind.code(),
+            self.kind.name(),
+            self.severity,
+            json_escape(&self.site),
+            json_escape(&self.message)
         )
     }
 }
@@ -266,10 +502,42 @@ mod tests {
         );
         assert_eq!(d.severity, Severity::Error);
         let r = d.render();
-        assert!(r.contains("error[uninitialized-read]"), "{r}");
+        assert!(r.contains("error[K001:uninitialized-read]"), "{r}");
         assert!(r.contains("body instruction 1"), "{r}");
         assert!(r.contains(">   1 U  vfmadd231pd v0, v31, v5"), "{r}");
         assert!(r.contains("    0 U  vmovapd v31"), "{r}");
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let kinds = [
+            LintKind::UninitializedRead { reg: 0 },
+            LintKind::DeadStore { reg: 0 },
+            LintKind::AccumulatorClobber { reg: 0 },
+            LintKind::UnpairedVpipe,
+            LintKind::FillConflict { fills: 0, holes: 0 },
+            LintKind::UnprefetchedStream {
+                stream: StreamId::B,
+            },
+            LintKind::WritePortPressure,
+            LintKind::Misaligned { align: 8 },
+            LintKind::PartialLinePrefetch { scale: 1 },
+            LintKind::ThreadOverlap { scale_thread: 1 },
+            LintKind::DuplicateSharedPrefetch,
+        ];
+        let codes: Vec<&str> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), LintKind::all_names().len());
+        for (i, c) in codes.iter().enumerate() {
+            assert!(c.starts_with('K'), "{c}");
+            assert!(!codes[..i].contains(c), "duplicate code {c}");
+        }
+        assert_eq!(LintKind::UninitializedRead { reg: 0 }.code(), "K001");
     }
 
     #[test]

@@ -18,18 +18,41 @@
 //! [`StaticModel`] whose cycle lower bound is cross-checked against the
 //! cycle-accurate emulator by the gate tests (`tests/gate.rs` and the
 //! `lint` binary in `phi-bench`) — the static↔dynamic consistency gate.
+//!
+//! A second pass family verifies the *cluster* side of the paper — the
+//! communication plans and data distributions of Section V — instead of
+//! the kernel:
+//!
+//! 5. [`schedule`] — rendezvous-semantics execution of materialized
+//!    send/recv programs ([`phi_fabric::schedule::CommSchedule`]):
+//!    wait-cycle deadlocks, orphaned receivers, unmatched sends, and
+//!    ops routed through dead ranks;
+//! 6. [`ownership`] — a block-cyclic ownership prover: exactly-once
+//!    live coverage and conservation across patch remaps,
+//!    cross-checked against the closed forms the simulators charge;
+//! 7. [`determinism`] — a source scan of the simulator/fault crates for
+//!    seed bypasses, hash-order iteration, and unordered float
+//!    reductions.
+//!
+//! Kernel findings carry stable `K###` codes, schedule findings `S###`
+//! ([`diag::SchedKind::code`]); both render through the same
+//! [`diag::render_finding`] shape and serialize to JSON for CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addrs;
 pub mod dataflow;
+pub mod determinism;
 pub mod diag;
 pub mod fixtures;
+pub mod ownership;
 pub mod ports;
+pub mod schedule;
 pub mod slots;
 
-pub use diag::{Diagnostic, LintKind, Region, Severity};
+pub use diag::{Diagnostic, LintKind, Region, SchedDiagnostic, SchedKind, Severity};
+pub use ownership::OwnershipMap;
 
 use phi_knc::pipeline::PipelineConfig;
 use phi_knc::{Instr, Program};
@@ -287,6 +310,6 @@ mod tests {
         let r = analyze(&body, &epi);
         let text = r.render();
         assert!(text.contains("31/32"), "{text}");
-        assert!(text.contains("warning[fill-conflict]"), "{text}");
+        assert!(text.contains("warning[K005:fill-conflict]"), "{text}");
     }
 }

@@ -1,0 +1,376 @@
+//! Channel-graph analysis of communication schedules: deadlock,
+//! starvation and dead-rank routing.
+//!
+//! The cluster simulators charge analytic durations for their
+//! collectives; [`phi_fabric::schedule`] materializes the same
+//! collectives as per-rank send/recv programs. This pass executes the
+//! materialized plan under **rendezvous semantics** — a send completes
+//! only when its matching receive is posted, the strictest (zero
+//! buffering) interpretation, so a schedule proved safe here is safe
+//! under any MPI eager/rendezvous threshold:
+//!
+//! * a schedule that runs to completion is **deadlock-free**;
+//! * a stuck operation whose counterpart exists later is part of a
+//!   **wait cycle** ([`SchedKind::WaitCycle`]) — the cycle is extracted
+//!   and reported rank-by-rank;
+//! * a stuck receive with no matching send anywhere in the remaining
+//!   plan is an **orphaned receiver** ([`SchedKind::OrphanReceiver`]),
+//!   the signature of a broadcast whose root died; a stuck send with no
+//!   consumer is an **unmatched send** ([`SchedKind::UnmatchedSend`]);
+//! * any op executed by or addressed to a rank outside the live set is
+//!   a **dead-rank op** ([`SchedKind::DeadRankOp`]) — the hazard
+//!   mid-run patch remaps introduce when a ring is not re-routed.
+
+use crate::diag::{SchedDiagnostic, SchedKind};
+use phi_fabric::schedule::{CommOp, CommSchedule};
+
+/// Renders rank `r`'s program around op `at`, offender marked.
+fn excerpt(s: &CommSchedule, r: usize, at: usize) -> String {
+    let prog = &s.programs[r];
+    let lo = at.saturating_sub(1);
+    let hi = (at + 2).min(prog.len());
+    let mut out = String::new();
+    for (idx, op) in prog.iter().enumerate().take(hi).skip(lo) {
+        let marker = if idx == at { '>' } else { ' ' };
+        let line = match *op {
+            CommOp::Send { to, tag, bytes } => {
+                format!("rank {r} send -> {to} tag {tag:#x} ({bytes} B)")
+            }
+            CommOp::Recv { from, tag } => format!("rank {r} recv <- {from} tag {tag:#x}"),
+        };
+        out.push_str(&format!("  {marker} {idx:>3}  {line}\n"));
+    }
+    out
+}
+
+/// True when `op`'s rendezvous counterpart (matching peer/tag in the
+/// opposite direction) exists in `peer`'s program at or after its pc.
+fn counterpart_remains(s: &CommSchedule, r: usize, op: &CommOp, pc: &[usize]) -> bool {
+    let peer = op.peer();
+    if peer >= s.nranks {
+        return false;
+    }
+    s.programs[peer][pc[peer]..]
+        .iter()
+        .any(|cand| match (op, cand) {
+            (CommOp::Send { to, tag, .. }, CommOp::Recv { from, tag: t2 }) => {
+                *to == peer && *from == r && tag == t2
+            }
+            (CommOp::Recv { from, tag }, CommOp::Send { to, tag: t2, .. }) => {
+                *from == peer && *to == r && tag == t2
+            }
+            _ => false,
+        })
+}
+
+/// Checks `s` and returns every finding. Clean schedules return an
+/// empty vector — the proof the gate requires.
+///
+/// Dead-rank routing errors are structural: when any are present the
+/// rendezvous execution is skipped (its verdicts would describe a plan
+/// that cannot exist) and only the routing findings are returned.
+pub fn check(s: &CommSchedule) -> Vec<SchedDiagnostic> {
+    let mut diags = Vec::new();
+
+    // Structural pass: dead or out-of-range participants.
+    for (r, prog) in s.programs.iter().enumerate() {
+        if !s.live[r] && !prog.is_empty() {
+            diags.push(SchedDiagnostic::new(
+                SchedKind::DeadRankOp { rank: r },
+                format!("{} rank {r} op 0", s.label),
+                format!("dead rank {r} still has {} scheduled op(s)", prog.len()),
+                excerpt(s, r, 0),
+            ));
+            continue;
+        }
+        for (at, op) in prog.iter().enumerate() {
+            let peer = op.peer();
+            if peer >= s.nranks || !s.live[peer] {
+                diags.push(SchedDiagnostic::new(
+                    SchedKind::DeadRankOp { rank: peer },
+                    format!("{} rank {r} op {at}", s.label),
+                    format!("rank {r} addresses rank {peer}, which is not live"),
+                    excerpt(s, r, at),
+                ));
+            }
+        }
+    }
+    if !diags.is_empty() {
+        return diags;
+    }
+
+    // Rendezvous execution: advance matched send/recv pairs until the
+    // plan completes or wedges.
+    let mut pc = vec![0usize; s.nranks];
+    loop {
+        let mut progressed = false;
+        for r in 0..s.nranks {
+            let Some(op) = s.programs[r].get(pc[r]) else {
+                continue;
+            };
+            if let CommOp::Send { to, tag, .. } = *op {
+                let matches = matches!(
+                    s.programs[to].get(pc[to]),
+                    Some(CommOp::Recv { from, tag: t2 }) if *from == r && *t2 == tag
+                );
+                if matches {
+                    pc[r] += 1;
+                    pc[to] += 1;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let stuck: Vec<usize> = (0..s.nranks)
+        .filter(|&r| pc[r] < s.programs[r].len())
+        .collect();
+    if stuck.is_empty() {
+        return diags;
+    }
+
+    // Starvation: stuck ops whose counterpart no longer exists.
+    let mut starved = false;
+    for &r in &stuck {
+        let op = &s.programs[r][pc[r]];
+        if !counterpart_remains(s, r, op, &pc) {
+            starved = true;
+            let site = format!("{} rank {r} op {}", s.label, pc[r]);
+            diags.push(match op {
+                CommOp::Recv { from, tag } => SchedDiagnostic::new(
+                    SchedKind::OrphanReceiver { rank: r },
+                    site,
+                    format!(
+                        "rank {r} waits on a receive from {from} (tag {tag:#x}) that no \
+                         remaining send will ever satisfy"
+                    ),
+                    excerpt(s, r, pc[r]),
+                ),
+                CommOp::Send { to, tag, .. } => SchedDiagnostic::new(
+                    SchedKind::UnmatchedSend { rank: r },
+                    site,
+                    format!(
+                        "rank {r}'s send to {to} (tag {tag:#x}) is never received: the \
+                         sender blocks forever under rendezvous"
+                    ),
+                    excerpt(s, r, pc[r]),
+                ),
+            });
+        }
+    }
+    if starved {
+        return diags;
+    }
+
+    // Every stuck op's counterpart still exists, yet nothing moves:
+    // a genuine wait cycle. Follow waits-on edges until a rank repeats.
+    let mut path = vec![stuck[0]];
+    loop {
+        let cur = *path.last().unwrap();
+        let next = s.programs[cur][pc[cur]].peer();
+        if let Some(pos) = path.iter().position(|&r| r == next) {
+            let cycle: Vec<usize> = path[pos..].to_vec();
+            let desc: Vec<String> = cycle
+                .iter()
+                .map(|&r| format!("{r}\u{2192}{}", s.programs[r][pc[r]].peer()))
+                .collect();
+            let head = cycle[0];
+            diags.push(SchedDiagnostic::new(
+                SchedKind::WaitCycle { ranks: cycle },
+                format!("{} rank {head} op {}", s.label, pc[head]),
+                format!(
+                    "rendezvous wait cycle: {} — every rank on the cycle is blocked \
+                     on the next; the schedule deadlocks",
+                    desc.join(", ")
+                ),
+                excerpt(s, head, pc[head]),
+            ));
+            return diags;
+        }
+        path.push(next);
+    }
+}
+
+/// A deliberately broken schedule and the diagnostic it must trip.
+#[derive(Clone, Debug)]
+pub struct BrokenSchedule {
+    /// Short human name of the defect scenario.
+    pub name: &'static str,
+    /// `SchedKind::name()` of the expected diagnostic.
+    pub expect: &'static str,
+    /// The broken plan.
+    pub schedule: CommSchedule,
+}
+
+/// One broken fixture per channel-graph diagnostic kind, for the gate's
+/// must-fail self-test.
+pub fn broken_fixtures() -> Vec<BrokenSchedule> {
+    // Head-to-head rendezvous sends: the classic exchange deadlock.
+    let mut cycle = CommSchedule::empty("fixture: head-to-head exchange", 2);
+    cycle.push(
+        0,
+        CommOp::Send {
+            to: 1,
+            tag: 1,
+            bytes: 64,
+        },
+    );
+    cycle.push(0, CommOp::Recv { from: 1, tag: 1 });
+    cycle.push(
+        1,
+        CommOp::Send {
+            to: 0,
+            tag: 1,
+            bytes: 64,
+        },
+    );
+    cycle.push(1, CommOp::Recv { from: 0, tag: 1 });
+
+    // A ring broadcast whose root died without re-rooting: the first
+    // survivor still waits on the dead root's send.
+    let mut orphan = CommSchedule::empty("fixture: bcast from a dead root", 3);
+    orphan.push(1, CommOp::Recv { from: 0, tag: 2 });
+    orphan.push(
+        1,
+        CommOp::Send {
+            to: 2,
+            tag: 2,
+            bytes: 64,
+        },
+    );
+    orphan.push(2, CommOp::Recv { from: 1, tag: 2 });
+
+    // A send into the void: the planned receiver posts nothing.
+    let mut unmatched = CommSchedule::empty("fixture: send never consumed", 2);
+    unmatched.push(
+        0,
+        CommOp::Send {
+            to: 1,
+            tag: 3,
+            bytes: 64,
+        },
+    );
+
+    // A ring built before the death and never re-routed: ops still
+    // address (and are held by) the dead rank.
+    let mut stale = CommSchedule::empty("fixture: stale ring through a dead rank", 3);
+    stale.push(
+        0,
+        CommOp::Send {
+            to: 1,
+            tag: 4,
+            bytes: 64,
+        },
+    );
+    stale.push(1, CommOp::Recv { from: 0, tag: 4 });
+    stale.push(
+        1,
+        CommOp::Send {
+            to: 2,
+            tag: 4,
+            bytes: 64,
+        },
+    );
+    stale.push(2, CommOp::Recv { from: 1, tag: 4 });
+    stale.live[1] = false;
+
+    vec![
+        BrokenSchedule {
+            name: "head-to-head rendezvous exchange",
+            expect: "wait-cycle",
+            schedule: cycle,
+        },
+        BrokenSchedule {
+            name: "broadcast rooted at a dead rank",
+            expect: "orphan-receiver",
+            schedule: orphan,
+        },
+        BrokenSchedule {
+            name: "send with no posted receiver",
+            expect: "unmatched-send",
+            schedule: unmatched,
+        },
+        BrokenSchedule {
+            name: "ring not re-routed around a death",
+            expect: "dead-rank-op",
+            schedule: stale,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_fabric::{BcastScheme, ProcessGrid, ScheduleBuilder};
+
+    #[test]
+    fn healthy_collectives_verify_clean_on_every_scheme() {
+        for (p, q) in [(1usize, 5usize), (4, 8), (10, 10), (9, 11), (2, 2)] {
+            let b = ScheduleBuilder::new(ProcessGrid::new(p, q));
+            for scheme in BcastScheme::ALL {
+                for strips in [1usize, 12] {
+                    let s = b.stage_schedule(scheme, 0, 0, 9600, 4800, strips);
+                    let diags = check(&s);
+                    assert!(
+                        diags.is_empty(),
+                        "{}x{} {} strips={}: {}",
+                        p,
+                        q,
+                        scheme.name(),
+                        strips,
+                        diags[0].render()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patched_grid_routes_around_the_dead_rank() {
+        let g = ProcessGrid::new(4, 8);
+        for dead in [0usize, 5, 31] {
+            let b = ScheduleBuilder::new(g).kill(dead);
+            for scheme in BcastScheme::ALL {
+                let s = b.stage_schedule(scheme, dead % 8, dead / 8, 9600, 4800, 4);
+                assert!(check(&s).is_empty(), "dead={dead} {}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_broken_fixture_trips_its_expected_kind() {
+        for f in broken_fixtures() {
+            let diags = check(&f.schedule);
+            assert!(
+                diags.iter().any(|d| d.kind.name() == f.expect),
+                "{}: expected {}, got {:?}",
+                f.name,
+                f.expect,
+                diags.iter().map(|d| d.kind.name()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn wait_cycle_reports_the_cycle_members() {
+        let fx = &broken_fixtures()[0];
+        let diags = check(&fx.schedule);
+        let d = &diags[0];
+        assert!(matches!(&d.kind, SchedKind::WaitCycle { ranks } if ranks.len() == 2));
+        let r = d.render();
+        assert!(r.contains("error[S201:wait-cycle]"), "{r}");
+        assert!(r.contains("deadlocks"), "{r}");
+    }
+
+    #[test]
+    fn json_rendering_is_flat_and_coded() {
+        let fx = &broken_fixtures()[1];
+        let d = &check(&fx.schedule)[0];
+        let j = d.render_json();
+        assert!(j.starts_with("{\"code\":\"S202\""), "{j}");
+        assert!(j.contains("\"kind\":\"orphan-receiver\""), "{j}");
+    }
+}

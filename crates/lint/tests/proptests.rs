@@ -1,0 +1,174 @@
+//! Property tests for the schedule-analysis pass family: the ownership
+//! prover and the channel-graph checker over randomized grids, remap
+//! strategies and dead-rank sets.
+//!
+//! Seeded and deterministic — every case derives from a splitmix64
+//! stream, so a failure replays exactly and the suite stays noise-free.
+
+use phi_fabric::{BcastScheme, ProcessGrid, ScheduleBuilder, ScheduleShape};
+use phi_lint::{ownership, schedule, OwnershipMap};
+
+/// splitmix64: the canonical 64-bit mixer, plenty for case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random grid with at least two ranks, and a random non-total set of
+/// distinct dead ranks on it.
+fn random_case(rng: &mut Rng) -> (ProcessGrid, Vec<usize>) {
+    let (p, q) = loop {
+        let p = 1 + rng.below(6);
+        let q = 1 + rng.below(8);
+        if p * q > 1 {
+            break (p, q);
+        }
+    };
+    let grid = ProcessGrid::new(p, q);
+    let max_dead = (grid.size() - 1).min(5);
+    let mut dead = Vec::new();
+    for _ in 0..1 + rng.below(max_dead) {
+        let r = rng.below(grid.size());
+        if !dead.contains(&r) {
+            dead.push(r);
+        }
+    }
+    (grid, dead)
+}
+
+#[test]
+fn patch_remaps_prove_exactly_once_and_conserving_on_random_grids() {
+    let mut rng = Rng(0x0175_0C0D_E001);
+    for case in 0..120 {
+        let (grid, dead_set) = random_case(&mut rng);
+        let nblocks = 4 + rng.below(12);
+        let nb = 64 + 32 * rng.below(8);
+        // A clipped final block about one case in two.
+        let n = nblocks * nb - rng.below(2) * (nb / 3).max(1);
+        let first = rng.below(nblocks);
+
+        let pristine = OwnershipMap::block_cyclic(&grid, nblocks);
+        let mut map = pristine.clone();
+        let mut live = vec![true; grid.size()];
+        for &dead in &dead_set {
+            live[dead] = false;
+            let survivors: Vec<usize> = (0..grid.size()).filter(|&r| live[r]).collect();
+            let remap = grid.patch_remap(dead);
+            // Conservation of this rank's own share, against the closed
+            // form the simulators charge.
+            let mut single = pristine.clone();
+            single.apply_patch(dead, &survivors, first);
+            let diags =
+                ownership::check_patch_conservation(&pristine, &single, &remap, first, nb, n, "p");
+            assert!(
+                diags.is_empty(),
+                "case {case} ({}x{} dead={dead} first={first} nb={nb} n={n}): {}",
+                grid.p,
+                grid.q,
+                diags[0].render()
+            );
+            map.apply_patch(dead, &survivors, first);
+            // Coverage holds after every intermediate death too.
+            let diags = ownership::check_exactly_once(&map, first, &live, "p");
+            assert!(
+                diags.is_empty(),
+                "case {case} ({}x{} dead={dead_set:?}): {}",
+                grid.p,
+                grid.q,
+                diags[0].render()
+            );
+        }
+    }
+}
+
+#[test]
+fn wholesale_reshapes_prove_exactly_once_on_random_survivor_counts() {
+    let mut rng = Rng(0x0175_0C0D_E002);
+    for case in 0..120 {
+        let (grid, dead_set) = random_case(&mut rng);
+        let survivors = grid.size() - dead_set.len();
+        let fallback = ProcessGrid::fallback_grid(survivors);
+        assert!(
+            fallback.size() <= survivors,
+            "case {case}: fallback grid larger than the survivor pool"
+        );
+        let nblocks = 4 + rng.below(12);
+        let map = OwnershipMap::block_cyclic(&fallback, nblocks);
+        let live = vec![true; fallback.size()];
+        let first = rng.below(nblocks);
+        let diags = ownership::check_exactly_once(&map, first, &live, "w");
+        assert!(
+            diags.is_empty(),
+            "case {case} ({} survivors -> {}x{}): {}",
+            survivors,
+            fallback.p,
+            fallback.q,
+            diags[0].render()
+        );
+    }
+}
+
+#[test]
+fn random_degraded_schedules_verify_deadlock_free() {
+    let mut rng = Rng(0x0175_0C0D_E003);
+    for case in 0..60 {
+        let (grid, dead_set) = random_case(&mut rng);
+        let shape = ScheduleShape {
+            grid,
+            dead_ranks: dead_set.clone(),
+            reshaped: false,
+        };
+        let b = ScheduleBuilder::for_shape(&shape);
+        let scheme = BcastScheme::ALL[rng.below(BcastScheme::ALL.len())];
+        let root_col = rng.below(grid.q);
+        let root_row = rng.below(grid.p);
+        let strips = 1 + rng.below(6);
+        let s = b.stage_schedule(scheme, root_col, root_row, 4096, 2048, strips);
+        let diags = schedule::check(&s);
+        assert!(
+            diags.is_empty(),
+            "case {case} ({}x{} dead={dead_set:?} {} strips={strips}): {}",
+            grid.p,
+            grid.q,
+            scheme.name(),
+            diags[0].render()
+        );
+    }
+}
+
+#[test]
+fn corrupted_maps_never_prove_clean() {
+    // Adversarial closure: drop or duplicate a random trailing cell and
+    // the prover must object every time.
+    let mut rng = Rng(0x0175_0C0D_E004);
+    for _ in 0..60 {
+        let (grid, _) = random_case(&mut rng);
+        let nblocks = 4 + rng.below(8);
+        let mut map = OwnershipMap::block_cyclic(&grid, nblocks);
+        let live = vec![true; grid.size()];
+        let (i, j) = (rng.below(nblocks), rng.below(nblocks));
+        if rng.below(2) == 0 {
+            map.owners_mut(i, j).clear();
+        } else {
+            map.owners_mut(i, j).push(rng.below(grid.size()));
+        }
+        assert!(
+            !ownership::check_exactly_once(&map, 0, &live, "c").is_empty(),
+            "corruption at ({i},{j}) on {}x{} went unnoticed",
+            grid.p,
+            grid.q
+        );
+    }
+}
