@@ -6,16 +6,22 @@
 //!
 //! ```text
 //! fleet [--seeds N] [--seed0 SEED] [--threads T] \
-//!       [--scope mixed|rack|storm] [--events N] [--out FILE]
+//!       [--scope mixed|rack|storm] [--events N] [--out FILE] [--store DIR]
 //! ```
 //!
 //! The report is byte-identical at any `--threads` value (including the
 //! `0` = auto default); re-running with the same flags must reproduce
 //! the same fleet digest bit for bit. `--out FILE` additionally writes
 //! the report to `FILE` (the CI smoke job uploads it as an artifact).
+//! `--store DIR` streams every seed's outcome through the
+//! content-addressed result store at `DIR`: a repeated fleet dedups per
+//! seed and only recomputes what the store lacks. Store traffic goes to
+//! stderr, so the report on stdout (and in `--out`) stays byte-equal to
+//! an unstored run.
 
-use phi_bench::fleet::{fleet_render, FleetOptions};
+use phi_bench::fleet::{fleet_render, fleet_render_stored, FleetOptions};
 use phi_faults::CampaignScope;
+use phi_serve::ResultStore;
 use std::process::ExitCode;
 
 fn parse_seed(s: &str) -> Option<u64> {
@@ -29,6 +35,7 @@ fn parse_seed(s: &str) -> Option<u64> {
 fn main() -> ExitCode {
     let mut opts = FleetOptions::default();
     let mut out_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +82,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--store" => match args.next() {
+                Some(p) => store_dir = Some(p),
+                None => {
+                    eprintln!("fleet: --store needs a directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("fleet: unknown argument `{other}`");
                 return ExitCode::FAILURE;
@@ -82,7 +96,24 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = fleet_render(&opts);
+    let report = match &store_dir {
+        Some(dir) => {
+            let store = match ResultStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("fleet: cannot open store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (report, stats) = fleet_render_stored(&opts, &store);
+            eprintln!(
+                "fleet: store {dir}: {} hits, {} misses",
+                stats.hits, stats.misses
+            );
+            report
+        }
+        None => fleet_render(&opts),
+    };
     print!("{report}");
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, &report) {

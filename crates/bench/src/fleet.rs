@@ -29,6 +29,7 @@ use phi_faults::{CampaignScope, FaultPlan};
 use phi_hpl::hybrid::{simulate_cluster, HybridConfig};
 use phi_hpl::native::{simulate_native_cluster, simulate_native_cluster_ft, NativeClusterConfig};
 use phi_hpl::{simulate_cluster_faulty, FtPolicy};
+use phi_serve::store::{Record, ResultStore};
 use std::fmt::Write;
 
 /// FNV-1a offset basis (matches the faults crate's fingerprints).
@@ -194,7 +195,7 @@ fn resolve_threads(threads: usize, work: usize) -> usize {
 /// thread `t` takes indices `t, t + T, t + 2T, …` and results land in
 /// their input slots, so the output is independent of `T` and of
 /// thread scheduling — the `phi-tune` evaluator's idiom.
-fn striped_map<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+pub(crate) fn striped_map<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -249,6 +250,162 @@ pub fn run_fleet(opts: &FleetOptions) -> FleetResult {
         healthy_gflops: healthy.gflops,
         digest,
     }
+}
+
+impl Record for SeedOutcome {
+    const NAMESPACE: &'static str = "fleet";
+    const HEADER: &'static str = "phi-serve fleet v1";
+
+    fn write_fields(&self, out: &mut String) {
+        out.push_str(&format!(
+            "seed {:016x} hosts={} cards={}\n",
+            self.seed, self.hosts_lost, self.cards_lost
+        ));
+        out.push_str(&format!(
+            "times pt={:016x} pg={:016x} wt={:016x} nt={:016x}\n",
+            self.patch_time_s.to_bits(),
+            self.patch_gflops.to_bits(),
+            self.whsl_time_s.to_bits(),
+            self.native_time_s.to_bits(),
+        ));
+        out.push_str(&format!("fp {:016x}\n", self.fingerprint));
+    }
+
+    fn parse_fields(fields: &str) -> Option<Self> {
+        fn field<'a>(tokens: &'a [&str], name: &str) -> Option<&'a str> {
+            tokens
+                .iter()
+                .find_map(|t| t.strip_prefix(name)?.strip_prefix('='))
+        }
+        fn bits(s: &str) -> Option<f64> {
+            Some(f64::from_bits(u64::from_str_radix(s, 16).ok()?))
+        }
+        let mut lines = fields.lines();
+        let s: Vec<&str> = lines.next()?.strip_prefix("seed ")?.split(' ').collect();
+        let seed = u64::from_str_radix(s.first()?, 16).ok()?;
+        let t: Vec<&str> = lines.next()?.strip_prefix("times ")?.split(' ').collect();
+        let fp = u64::from_str_radix(lines.next()?.strip_prefix("fp ")?, 16).ok()?;
+        if lines.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            seed,
+            hosts_lost: field(&s, "hosts")?.parse().ok()?,
+            cards_lost: field(&s, "cards")?.parse().ok()?,
+            patch_time_s: bits(field(&t, "pt")?)?,
+            patch_gflops: bits(field(&t, "pg")?)?,
+            whsl_time_s: bits(field(&t, "wt")?)?,
+            native_time_s: bits(field(&t, "nt")?)?,
+            fingerprint: fp,
+        })
+    }
+}
+
+/// Bumped when the per-seed evaluation or the record layout changes
+/// meaning, so stale fleet records can never serve a current campaign.
+const FLEET_STORE_VERSION: u64 = 1;
+
+/// The content-addressed key of one fleet seed's evaluation: everything
+/// [`eval_seed`] reads — the seed itself, the campaign shape and the
+/// healthy completion times that scale both fault horizons. Two fleets
+/// with identical options share every key; changing the scope, the
+/// event count or either system invalidates all of them.
+fn fleet_seed_key(
+    seed: u64,
+    opts: &FleetOptions,
+    healthy_s: f64,
+    native_healthy_s: f64,
+    grid_size: usize,
+    cards_per_node: usize,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_mix(&mut h, FLEET_STORE_VERSION);
+    fnv_mix(&mut h, seed);
+    for b in opts.scope.name().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    fnv_mix(&mut h, opts.events as u64);
+    fnv_mix(&mut h, healthy_s.to_bits());
+    fnv_mix(&mut h, native_healthy_s.to_bits());
+    fnv_mix(&mut h, grid_size as u64);
+    fnv_mix(&mut h, cards_per_node as u64);
+    h
+}
+
+/// Store traffic of one [`run_fleet_stored`] call. Per-seed, so
+/// `hits + misses == seeds`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStoreStats {
+    /// Seeds served from the store without simulating.
+    pub hits: usize,
+    /// Seeds evaluated and written back (includes corrupt-record
+    /// recoveries — a damaged record is a miss, recomputed and
+    /// overwritten, never an error).
+    pub misses: usize,
+}
+
+/// [`run_fleet`] streamed through a content-addressed [`ResultStore`]:
+/// each seed's outcome is keyed by seed × options × machine
+/// fingerprints in the `fleet`
+/// namespace, hits skip the three simulations entirely, and misses are
+/// written back — so a second identical fleet is a pure cache hit. The
+/// result (outcomes, digest, report) is byte-identical to the unstored
+/// fleet at any thread count and any hit/miss split.
+pub fn run_fleet_stored(
+    opts: &FleetOptions,
+    store: &ResultStore,
+) -> (FleetResult, FleetStoreStats) {
+    let cfg = paper_cluster();
+    let ncfg = fleet_native_cluster();
+    let healthy = simulate_cluster(&cfg, false).report;
+    let native_healthy_s = simulate_native_cluster(&ncfg).time_s;
+    let evaluated = striped_map(opts.seeds, opts.threads, |i| {
+        let seed = opts.seed0.wrapping_add(i as u64);
+        let key = fleet_seed_key(
+            seed,
+            opts,
+            healthy.time_s,
+            native_healthy_s,
+            cfg.grid.size(),
+            cfg.cards_per_node,
+        );
+        // A hit must witness the exact seed: a colliding or stale
+        // record is treated as a miss, not served.
+        if let Ok(Some(out)) = store.load::<SeedOutcome>(key) {
+            if out.seed == seed {
+                return (out, true);
+            }
+        }
+        let out = eval_seed(&cfg, &ncfg, healthy.time_s, native_healthy_s, opts, i);
+        // A failed write-back costs a future hit, never correctness.
+        let _ = store.put(key, &out);
+        (out, false)
+    });
+    let mut stats = FleetStoreStats::default();
+    let mut outcomes = Vec::with_capacity(evaluated.len());
+    for (out, hit) in evaluated {
+        if hit {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        outcomes.push(out);
+    }
+    let mut digest = FNV_OFFSET;
+    for o in &outcomes {
+        fnv_mix(&mut digest, o.fingerprint);
+    }
+    (
+        FleetResult {
+            options: opts.clone(),
+            outcomes,
+            healthy_time_s: healthy.time_s,
+            healthy_gflops: healthy.gflops,
+            digest,
+        },
+        stats,
+    )
 }
 
 /// Nearest-rank percentile (`p` in `[0, 100]`) over a `total_cmp`-sorted
@@ -411,7 +568,19 @@ pub fn best_budget(sweep: &[BudgetRow]) -> Option<usize> {
 /// patch-vs-wholesale crossover frontier, the death-budget sweep and
 /// the campaign digest. Byte-identical at any thread count.
 pub fn fleet_render(opts: &FleetOptions) -> String {
-    let fleet = run_fleet(opts);
+    render_fleet_result(&run_fleet(opts))
+}
+
+/// [`fleet_render`] streamed through a [`ResultStore`]: byte-identical
+/// report (store traffic is returned separately, never printed into the
+/// report, so a stored and an unstored run `cmp` equal).
+pub fn fleet_render_stored(opts: &FleetOptions, store: &ResultStore) -> (String, FleetStoreStats) {
+    let (fleet, stats) = run_fleet_stored(opts, store);
+    (render_fleet_result(&fleet), stats)
+}
+
+fn render_fleet_result(fleet: &FleetResult) -> String {
+    let opts = &fleet.options;
     let mut out = String::new();
     writeln!(
         out,
@@ -431,7 +600,7 @@ pub fn fleet_render(opts: &FleetOptions) -> String {
 
     out.push_str("completion time (patch remap):\n");
     let mut t = TextTable::new(["percentile", "t(s)", "vs healthy"]);
-    for (label, v) in completion_percentiles(&fleet) {
+    for (label, v) in completion_percentiles(fleet) {
         t.row([
             label.to_string(),
             format!("{v:.2}"),
@@ -442,7 +611,7 @@ pub fn fleet_render(opts: &FleetOptions) -> String {
 
     out.push_str("\nGFLOPS availability (fraction of seeds at or above the floor):\n");
     let mut t = TextTable::new(["floor", "GFLOPS", "availability"]);
-    for (thr, frac) in availability_curve(&fleet) {
+    for (thr, frac) in availability_curve(fleet) {
         t.row([
             format!("{:.0}%", 100.0 * thr),
             format!("{:.0}", thr * fleet.healthy_gflops),
@@ -452,7 +621,7 @@ pub fn fleet_render(opts: &FleetOptions) -> String {
     out.push_str(&t.render());
 
     out.push_str("\npatch-vs-wholesale crossover frontier (mean t by hosts lost):\n");
-    let frontier = crossover_frontier(&fleet);
+    let frontier = crossover_frontier(fleet);
     let mut t = TextTable::new([
         "hosts lost",
         "seeds",
@@ -484,7 +653,7 @@ pub fn fleet_render(opts: &FleetOptions) -> String {
     }
 
     out.push_str("\ndeath-budget sweep (expected throughput on the subsample):\n");
-    let sweep = budget_sweep(&fleet);
+    let sweep = budget_sweep(fleet);
     let mut t = TextTable::new(["budget", "mean GFLOPS"]);
     for r in &sweep {
         t.row([r.budget.to_string(), format!("{:.0}", r.mean_gflops)]);
@@ -595,6 +764,77 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 4.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn stored_fleet_matches_unstored_and_second_run_is_pure_hit() {
+        let dir = std::env::temp_dir().join(format!("phi-fleet-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let opts = FleetOptions {
+            seeds: 20,
+            ..small_opts()
+        };
+        let plain = run_fleet(&opts);
+        let (cold, cold_stats) = run_fleet_stored(&opts, &store);
+        assert_eq!(cold_stats.misses, opts.seeds);
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold.digest, plain.digest, "store must not change results");
+        assert_eq!(cold.outcomes, plain.outcomes);
+
+        // Second identical fleet: every seed deduplicates to a hit, at
+        // a different thread count, with identical bytes.
+        let (warm, warm_stats) = run_fleet_stored(
+            &FleetOptions {
+                threads: 3,
+                ..opts.clone()
+            },
+            &store,
+        );
+        assert_eq!(warm_stats.hits, opts.seeds, "{warm_stats:?}");
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm.digest, plain.digest);
+        assert_eq!(warm.outcomes, plain.outcomes);
+
+        // A corrupt record is a per-seed miss, recovered by rewrite.
+        let keys = store.keys::<SeedOutcome>().unwrap();
+        assert_eq!(keys.len(), opts.seeds);
+        std::fs::write(store.record_path::<SeedOutcome>(keys[0]), "junk\n").unwrap();
+        let (fixed, fixed_stats) = run_fleet_stored(&opts, &store);
+        assert_eq!(fixed_stats.misses, 1);
+        assert_eq!(fixed_stats.hits, opts.seeds - 1);
+        assert_eq!(fixed.digest, plain.digest);
+
+        // A changed scope shares no keys with the mixed fleet.
+        let (_, other_stats) = run_fleet_stored(
+            &FleetOptions {
+                scope: CampaignScope::Rack,
+                ..opts.clone()
+            },
+            &store,
+        );
+        assert_eq!(other_stats.hits, 0, "scope change must re-key every seed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_outcome_record_round_trips_byte_identically() {
+        use phi_serve::store::{parse_record, serialize_record};
+        let out = SeedOutcome {
+            seed: 0xF1EE7,
+            hosts_lost: 2,
+            cards_lost: 3,
+            patch_time_s: 123.456,
+            patch_gflops: -0.0,
+            whsl_time_s: f64::MIN_POSITIVE / 2.0,
+            native_time_s: 99.5,
+            fingerprint: 0xABCD,
+        };
+        let text = serialize_record(&out);
+        let back: SeedOutcome = parse_record(&text).expect("own serialization parses");
+        assert_eq!(back.patch_gflops.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back, out);
+        assert_eq!(serialize_record(&back), text);
     }
 
     #[test]

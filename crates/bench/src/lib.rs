@@ -17,6 +17,7 @@ pub mod format;
 pub mod lintgate;
 pub mod perfgate;
 pub mod schedlint;
+pub mod serve;
 pub mod tune;
 
 pub use experiments::*;
@@ -26,7 +27,9 @@ pub use faults::{
 };
 pub use fleet::{
     availability_curve, best_budget, budget_sweep, completion_percentiles, crossover_frontier,
-    crossover_point, fleet_render, run_fleet, FleetOptions, FleetResult, SeedOutcome,
+    crossover_point, fleet_render, fleet_render_stored, run_fleet, run_fleet_stored, FleetOptions,
+    FleetResult, FleetStoreStats, SeedOutcome,
 };
 pub use format::TextTable;
 pub use phi_hpl::native::NativeScheme;
+pub use serve::{serve_load, serve_load_render, ServeLoadOptions, ServeLoadResult};

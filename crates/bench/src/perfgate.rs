@@ -10,6 +10,7 @@
 
 use crate::faults::fault_campaign_cluster_rows;
 use crate::fleet::{completion_percentiles, run_fleet, FleetOptions};
+use crate::serve::{serve_load, ServeLoadOptions, ServeLoadResult};
 use crate::tune::{run_tuner, TuneBenchError};
 use crate::TextTable;
 use phi_fabric::RemapStrategy;
@@ -131,6 +132,25 @@ fn fanout_resolution_throughput() -> f64 {
     events as f64 / (PLANS as f64 * HORIZON_S / 3600.0)
 }
 
+/// The gate's reference campaign-service workload: a small cold + warm
+/// load generation on an in-memory service rooted at [`GATE_SEED`].
+/// Both derived metrics are defined in deterministic terms —
+/// `serve_requests_per_s` divides requests by *simulated* seconds (the
+/// Σ completion time of the unique campaigns behind them, no wall
+/// clock) and `serve_hit_rate` counts requests that skipped execution —
+/// so they reproduce bit-for-bit at any worker count. They move only
+/// when spec canonicalization, the dedup machinery or the simulated
+/// campaigns themselves change.
+fn gate_serve_load() -> ServeLoadResult {
+    serve_load(&ServeLoadOptions {
+        requests: 600,
+        space: 24,
+        clients: 4,
+        seed0: GATE_SEED,
+        ..ServeLoadOptions::default()
+    })
+}
+
 /// Computes every gated metric in-process. The fault-campaign figures
 /// come from the Table III cluster campaign at [`GATE_SEED`]; the fleet
 /// tail figure from the 160-seed reference fleet; the
@@ -142,6 +162,10 @@ pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
     let healthy = &rows[0];
     let patch = &rows[2];
     let whsl = &rows[4];
+    let serve = gate_serve_load();
+    serve
+        .check()
+        .expect("gate serve workload violates an invariant");
     let runs = run_tuner(true, cache_dir)?;
     let cluster100 = runs
         .iter()
@@ -191,6 +215,14 @@ pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
         Metric {
             name: "schedule_lint_throughput",
             value: crate::schedlint::reference_sweep_ops(),
+        },
+        Metric {
+            name: "serve_requests_per_s",
+            value: serve.simulated_requests_per_s(),
+        },
+        Metric {
+            name: "serve_hit_rate",
+            value: serve.stats.hit_rate(),
         },
     ])
 }
@@ -502,7 +534,17 @@ mod tests {
         let a = collect_metrics(&dir).unwrap();
         let b = collect_metrics(&dir).unwrap();
         assert_eq!(a, b, "gate metrics must be deterministic");
-        assert_eq!(a.len(), 10);
+        assert_eq!(a.len(), 12);
+        let hit_rate = a.iter().find(|m| m.name == "serve_hit_rate").unwrap();
+        // 1200 requests over 24 unique specs: all but the first touch of
+        // each key must be a hit.
+        assert!(
+            (hit_rate.value - (1200.0 - 24.0) / 1200.0).abs() < 1e-12,
+            "hit rate drifted: {}",
+            hit_rate.value
+        );
+        let rps = a.iter().find(|m| m.name == "serve_requests_per_s").unwrap();
+        assert!(rps.value > 0.0 && rps.value.is_finite());
         let sched = a
             .iter()
             .find(|m| m.name == "schedule_lint_throughput")

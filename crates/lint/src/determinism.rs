@@ -136,6 +136,7 @@ pub const SCAN_ROOTS: &[&str] = &[
     "crates/des/src",
     "crates/fabric/src",
     "crates/tune/src",
+    "crates/serve/src",
 ];
 
 /// Recursively scans every `.rs` file under `root` (a directory), in

@@ -1,0 +1,115 @@
+//! `phi-serve` — simulation-as-a-service for the Linpack stack.
+//!
+//! Every scenario in this workspace used to be a one-shot bench binary:
+//! the paper's Table II/III sweeps and the fleet-scale Monte Carlo
+//! campaigns re-ran identical `(configuration → result)` work on every
+//! invocation. This crate turns the simulators into a *service*:
+//!
+//! * [`CampaignSpec`] is a declarative description of one campaign —
+//!   process grid × `NB` × broadcast scheme × look-ahead × work
+//!   division × fault plan × recovery remap — canonicalized and
+//!   FNV-hashed into a content-addressed key ([`CampaignSpec::key`]);
+//! * [`store::ResultStore`] is the system-wide content-addressed store
+//!   grown out of `phi-tune`'s `TuneCache`: the same FNV keying and
+//!   hex-bit `f64` text serialization, the same corrupt-entry recovery
+//!   semantics, generalized over a [`store::Record`] trait so tuning
+//!   outcomes, campaign rows and fleet seeds all share one layer;
+//! * [`CampaignService`] executes misses on a bounded worker pool
+//!   (std threads + an mpsc channel — the workspace stays offline and
+//!   dependency-free) with **single-flight dedup**: any number of
+//!   concurrent identical requests run the simulation exactly once,
+//!   and every result is persisted so later processes start warm;
+//! * [`ResultTable`] is a queryable in-memory table over persisted
+//!   campaign rows — `filter` / `project` / `aggregate` over GFLOPS,
+//!   completion time, faults and recovery cost.
+//!
+//! Determinism is inherited from the simulators: a spec's outcome is a
+//! pure function of its canonical key, so results are byte-identical at
+//! any worker-pool size and a warm store can only ever serve the bytes
+//! a cold run would have computed.
+//!
+//! ```
+//! use phi_serve::{CampaignService, CampaignSpec};
+//!
+//! let service = CampaignService::in_memory(2);
+//! let spec = CampaignSpec::single_node(20_000, 1200);
+//! let first = service.get(&spec).unwrap();
+//! let second = service.get(&spec).unwrap();
+//! assert_eq!(first.fingerprint, second.fingerprint);
+//! let stats = service.stats();
+//! assert_eq!(stats.executed, 1, "identical requests simulate once");
+//! assert_eq!(stats.mem_hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod error;
+pub mod service;
+pub mod spec;
+pub mod store;
+pub mod table;
+
+pub use campaign::{run_campaign, CampaignOutcome};
+pub use error::ServeError;
+pub use service::{CampaignService, ServiceStats};
+pub use spec::{CampaignSpec, FaultSpec};
+pub use store::{Record, ResultStore, StoreReadError};
+pub use table::{Agg, Column, Filter, FilterOp, ResultTable};
+
+/// FNV-1a, the workspace's standard fingerprint hash (identical
+/// constants to the `phi-faults` replay fingerprints and the `phi-tune`
+/// cache keys).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// The offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    /// Folds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// Folds a `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv::new().finish(), 0xcbf29ce484222325);
+        let mut h = Fnv::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut u = Fnv::new();
+        u.write_u64(0x61); // 'a' then seven zero bytes
+        let mut b = Fnv::new();
+        b.write(&[0x61, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(u.finish(), b.finish());
+    }
+}

@@ -1,13 +1,17 @@
-//! Content-addressed tuning cache.
+//! Content-addressed tuning cache — a client of the shared
+//! [`phi_serve::ResultStore`].
 //!
 //! A tuning result is stored under an FNV-1a key over the machine
 //! fingerprint, the search-space signature, the seed and the tuner
 //! version — the same content-addressing scheme `phi-faults` uses for
-//! replay fingerprints. The serialization is a deterministic text
-//! format with `f64` values as exact hex bit patterns, so two runs with
-//! the same key produce byte-identical cache files, and a loaded
-//! outcome is bit-identical to the stored one (wall time and the
-//! cache-hit flag are deliberately excluded from the bytes).
+//! replay fingerprints. The framing (header line, hex-bit `f64` text,
+//! `end <fnv>` integrity trailer, `tune-<key>.txt` file naming) now
+//! lives in `phi-serve`'s generic store; this module contributes only
+//! the [`TuneOutcome`] field layout via a [`Record`] implementation.
+//! The on-disk bytes are **identical** to the pre-store v2 format, so
+//! cache directories written before the migration stay readable, and
+//! two runs with the same key still produce byte-identical files
+//! (wall time and the cache-hit flag are deliberately excluded).
 
 use crate::search::{ScoredCandidate, TuneOutcome, TunedConfig};
 use crate::space::{Candidate, MachineConfig, TuneSpace};
@@ -15,61 +19,21 @@ use crate::Fnv;
 use phi_fabric::BcastScheme;
 use phi_hpl::hybrid::{Lookahead, WorkDivision};
 use phi_hpl::GigaflopsReport;
-use std::fmt;
+use phi_serve::store::{serialize_record, Record, ResultStore};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Why a cache record could not be read. `Io` is the environment's
-/// fault (permissions, disk); `Corrupt` means the file exists but its
-/// bytes are not a valid record — truncated write, bit flip, wrong
-/// format. Callers treat `Corrupt` as "recompute and overwrite", never
-/// as a panic.
-#[derive(Debug)]
-pub enum CacheReadError {
-    /// The underlying read failed (other than not-found).
-    Io(io::Error),
-    /// The file exists but does not parse as a cache record.
-    Corrupt {
-        /// The offending file.
-        path: PathBuf,
-        /// What the parser tripped over.
-        reason: &'static str,
-    },
-}
-
-impl fmt::Display for CacheReadError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "cache read failed: {e}"),
-            Self::Corrupt { path, reason } => {
-                write!(f, "corrupt cache record {}: {reason}", path.display())
-            }
-        }
-    }
-}
-
-impl std::error::Error for CacheReadError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            Self::Io(e) => Some(e),
-            Self::Corrupt { .. } => None,
-        }
-    }
-}
-
-impl From<io::Error> for CacheReadError {
-    fn from(e: io::Error) -> Self {
-        Self::Io(e)
-    }
-}
+/// Why a cache record could not be read. This *is* the shared store's
+/// error: `Io` is the environment's fault (permissions, disk);
+/// `Corrupt` means the file exists but its bytes are not a valid
+/// record — truncated write, bit flip, wrong format. Callers treat
+/// `Corrupt` as "recompute and overwrite", never as a panic.
+pub use phi_serve::store::StoreReadError as CacheReadError;
 
 /// Bumped whenever the search or serialization changes meaning, so old
 /// cache entries can never be mistaken for current ones. v2 added the
 /// `end <fnv>` integrity trailer.
 const TUNER_VERSION: u64 = 2;
-
-/// First line of every record; the version here tracks [`TUNER_VERSION`].
-const HEADER: &str = "phi-tune cache v2";
 
 /// The content-addressed cache key of a tuning run.
 pub fn cache_key(machine: &MachineConfig, space: &TuneSpace, seed: u64) -> u64 {
@@ -81,34 +45,40 @@ pub fn cache_key(machine: &MachineConfig, space: &TuneSpace, seed: u64) -> u64 {
     h.finish()
 }
 
-/// A directory of tuning results, one file per cache key.
+/// A directory of tuning results, one file per cache key. Since the
+/// store migration this is a thin veneer over [`ResultStore`]: a tune
+/// cache directory is a result-store directory whose `tune` namespace
+/// holds [`TuneOutcome`] records, and it can be shared with
+/// `phi-serve`'s campaign service without collision.
 #[derive(Clone, Debug)]
 pub struct TuneCache {
-    dir: PathBuf,
+    store: ResultStore,
 }
 
 impl TuneCache {
     /// Opens (creating if needed) a cache directory.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            store: ResultStore::open(dir)?,
+        })
+    }
+
+    /// Wraps an existing store handle (e.g. the campaign service's),
+    /// so tuning results and campaign outcomes share one directory.
+    pub fn with_store(store: ResultStore) -> Self {
+        Self { store }
     }
 
     /// The file a key is stored under.
     pub fn path(&self, key: u64) -> PathBuf {
-        self.dir.join(format!("tune-{key:016x}.txt"))
+        self.store.record_path::<TuneOutcome>(key)
     }
 
     /// Loads the outcome stored under `key`, if any. A corrupt or
     /// truncated file counts as a miss, not an error — the tuner simply
     /// re-runs and overwrites it.
     pub fn load(&self, key: u64) -> io::Result<Option<TuneOutcome>> {
-        match self.load_checked(key) {
-            Ok(out) => Ok(out),
-            Err(CacheReadError::Corrupt { .. }) => Ok(None),
-            Err(CacheReadError::Io(e)) => Err(e),
-        }
+        self.store.load::<TuneOutcome>(key)
     }
 
     /// Like [`load`](Self::load), but a damaged file surfaces as a
@@ -116,29 +86,22 @@ impl TuneCache {
     /// callers can log or count the fallback. Never panics on truncated,
     /// bit-flipped or empty files.
     pub fn load_checked(&self, key: u64) -> Result<Option<TuneOutcome>, CacheReadError> {
-        let path = self.path(key);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(CacheReadError::Io(e)),
-        };
-        match parse(&text) {
-            Some(out) => Ok(Some(out)),
-            None => Err(CacheReadError::Corrupt {
-                path,
-                reason: diagnose(&text),
-            }),
-        }
+        self.store.load_checked::<TuneOutcome>(key)
     }
 
     /// Stores an outcome under its own fingerprint.
     pub fn store(&self, out: &TuneOutcome) -> io::Result<()> {
-        std::fs::write(self.path(out.fingerprint), serialize(out))
+        self.store.put(out.fingerprint, out)
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.store.dir()
+    }
+
+    /// The underlying shared store.
+    pub fn result_store(&self) -> &ResultStore {
+        &self.store
     }
 }
 
@@ -179,56 +142,6 @@ fn score_line(r: &GigaflopsReport) -> String {
         r.time_s.to_bits(),
         r.peak_gflops.to_bits()
     )
-}
-
-/// The deterministic byte serialization of an outcome (wall time and
-/// the cache-hit flag excluded). The final `end <fnv>` line is an
-/// FNV-1a over every preceding byte, so truncations and bit flips are
-/// detectably corrupt rather than silently parseable.
-pub fn serialize(out: &TuneOutcome) -> String {
-    let m = &out.machine;
-    let mut s = String::new();
-    s.push_str(HEADER);
-    s.push('\n');
-    s.push_str(&format!("key {:016x}\n", out.fingerprint));
-    s.push_str(&format!(
-        "machine nodes={} cards={} mem={:016x} n={}\n",
-        m.nodes,
-        m.cards_per_node,
-        m.host_mem_gib.to_bits(),
-        m.n
-    ));
-    s.push_str(&format!("evaluated {}\n", out.candidates_evaluated));
-    s.push_str(&format!("baseline {}\n", cand_line(&out.baseline)));
-    s.push_str(&format!(
-        "baseline-score {}\n",
-        score_line(&out.baseline_report)
-    ));
-    s.push_str(&format!("tuned {}\n", cand_line(&out.tuned.candidate())));
-    s.push_str(&format!("tuned-score {}\n", score_line(&out.tuned_report)));
-    s.push_str(&format!("table {}\n", out.table.len()));
-    for sc in &out.table {
-        s.push_str(&format!(
-            "row {} {}\n",
-            cand_line(&sc.candidate),
-            score_line(&sc.report)
-        ));
-    }
-    let mut h = Fnv::new();
-    h.write(s.as_bytes());
-    s.push_str(&format!("end {:016x}\n", h.finish()));
-    s
-}
-
-/// Splits off and verifies the `end <fnv>` trailer, returning the body
-/// it covers. Any truncation or bit flip fails here.
-fn verify_trailer(text: &str) -> Option<&str> {
-    let (_, last) = text.strip_suffix('\n')?.rsplit_once('\n')?;
-    let stored = u64::from_str_radix(last.strip_prefix("end ")?, 16).ok()?;
-    let body = &text[..text.len() - last.len() - 1];
-    let mut h = Fnv::new();
-    h.write(body.as_bytes());
-    (h.finish() == stored).then_some(body)
 }
 
 fn field<'a>(tokens: &'a [&str], name: &str) -> Option<&'a str> {
@@ -276,82 +189,106 @@ fn parse_score(tokens: &[&str], n: usize) -> Option<GigaflopsReport> {
     Some(GigaflopsReport::new(n, time, peak))
 }
 
-/// A human-readable first guess at what is wrong with an unparseable
-/// record, for the `Corrupt` error message.
-fn diagnose(text: &str) -> &'static str {
-    if text.is_empty() {
-        "empty file"
-    } else if !text.starts_with(HEADER) {
-        "unrecognized header (wrong format or stale version)"
-    } else if verify_trailer(text).is_none() {
-        "integrity trailer missing or mismatched (truncated or bit-flipped)"
-    } else {
-        "corrupted record body"
+impl Record for TuneOutcome {
+    const NAMESPACE: &'static str = "tune";
+    const HEADER: &'static str = "phi-tune cache v2";
+
+    fn write_fields(&self, s: &mut String) {
+        let m = &self.machine;
+        s.push_str(&format!("key {:016x}\n", self.fingerprint));
+        s.push_str(&format!(
+            "machine nodes={} cards={} mem={:016x} n={}\n",
+            m.nodes,
+            m.cards_per_node,
+            m.host_mem_gib.to_bits(),
+            m.n
+        ));
+        s.push_str(&format!("evaluated {}\n", self.candidates_evaluated));
+        s.push_str(&format!("baseline {}\n", cand_line(&self.baseline)));
+        s.push_str(&format!(
+            "baseline-score {}\n",
+            score_line(&self.baseline_report)
+        ));
+        s.push_str(&format!("tuned {}\n", cand_line(&self.tuned.candidate())));
+        s.push_str(&format!("tuned-score {}\n", score_line(&self.tuned_report)));
+        s.push_str(&format!("table {}\n", self.table.len()));
+        for sc in &self.table {
+            s.push_str(&format!(
+                "row {} {}\n",
+                cand_line(&sc.candidate),
+                score_line(&sc.report)
+            ));
+        }
+    }
+
+    fn parse_fields(fields: &str) -> Option<Self> {
+        let mut lines = fields.lines();
+        let key = u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
+        let mtoks: Vec<&str> = lines.next()?.strip_prefix("machine ")?.split(' ').collect();
+        let machine = MachineConfig {
+            nodes: field(&mtoks, "nodes")?.parse().ok()?,
+            cards_per_node: field(&mtoks, "cards")?.parse().ok()?,
+            host_mem_gib: f64::from_bits(u64::from_str_radix(field(&mtoks, "mem")?, 16).ok()?),
+            n: field(&mtoks, "n")?.parse().ok()?,
+        };
+        let evaluated: usize = lines.next()?.strip_prefix("evaluated ")?.parse().ok()?;
+        let btoks: Vec<&str> = lines
+            .next()?
+            .strip_prefix("baseline ")?
+            .split(' ')
+            .collect();
+        let baseline = parse_cand(&btoks)?;
+        let bstoks: Vec<&str> = lines
+            .next()?
+            .strip_prefix("baseline-score ")?
+            .split(' ')
+            .collect();
+        let baseline_report = parse_score(&bstoks, machine.n)?;
+        let ttoks: Vec<&str> = lines.next()?.strip_prefix("tuned ")?.split(' ').collect();
+        let tuned = TunedConfig::from_candidate(machine.n, &parse_cand(&ttoks)?);
+        let tstoks: Vec<&str> = lines
+            .next()?
+            .strip_prefix("tuned-score ")?
+            .split(' ')
+            .collect();
+        let tuned_report = parse_score(&tstoks, machine.n)?;
+        let nrows: usize = lines.next()?.strip_prefix("table ")?.parse().ok()?;
+        let mut table = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let toks: Vec<&str> = lines.next()?.strip_prefix("row ")?.split(' ').collect();
+            table.push(ScoredCandidate {
+                candidate: parse_cand(&toks)?,
+                report: parse_score(&toks, machine.n)?,
+            });
+        }
+        Some(TuneOutcome {
+            fingerprint: key,
+            machine,
+            tuned,
+            tuned_report,
+            baseline,
+            baseline_report,
+            candidates_evaluated: evaluated,
+            table,
+            cache_hit: false,
+            wall_time_s: 0.0,
+        })
     }
 }
 
-fn parse(text: &str) -> Option<TuneOutcome> {
-    let body = verify_trailer(text)?;
-    let mut lines = body.lines();
-    if lines.next()? != HEADER {
-        return None;
-    }
-    let key = u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
-    let mtoks: Vec<&str> = lines.next()?.strip_prefix("machine ")?.split(' ').collect();
-    let machine = MachineConfig {
-        nodes: field(&mtoks, "nodes")?.parse().ok()?,
-        cards_per_node: field(&mtoks, "cards")?.parse().ok()?,
-        host_mem_gib: f64::from_bits(u64::from_str_radix(field(&mtoks, "mem")?, 16).ok()?),
-        n: field(&mtoks, "n")?.parse().ok()?,
-    };
-    let evaluated: usize = lines.next()?.strip_prefix("evaluated ")?.parse().ok()?;
-    let btoks: Vec<&str> = lines
-        .next()?
-        .strip_prefix("baseline ")?
-        .split(' ')
-        .collect();
-    let baseline = parse_cand(&btoks)?;
-    let bstoks: Vec<&str> = lines
-        .next()?
-        .strip_prefix("baseline-score ")?
-        .split(' ')
-        .collect();
-    let baseline_report = parse_score(&bstoks, machine.n)?;
-    let ttoks: Vec<&str> = lines.next()?.strip_prefix("tuned ")?.split(' ').collect();
-    let tuned = TunedConfig::from_candidate(machine.n, &parse_cand(&ttoks)?);
-    let tstoks: Vec<&str> = lines
-        .next()?
-        .strip_prefix("tuned-score ")?
-        .split(' ')
-        .collect();
-    let tuned_report = parse_score(&tstoks, machine.n)?;
-    let nrows: usize = lines.next()?.strip_prefix("table ")?.parse().ok()?;
-    let mut table = Vec::with_capacity(nrows);
-    for _ in 0..nrows {
-        let toks: Vec<&str> = lines.next()?.strip_prefix("row ")?.split(' ').collect();
-        table.push(ScoredCandidate {
-            candidate: parse_cand(&toks)?,
-            report: parse_score(&toks, machine.n)?,
-        });
-    }
-    Some(TuneOutcome {
-        fingerprint: key,
-        machine,
-        tuned,
-        tuned_report,
-        baseline,
-        baseline_report,
-        candidates_evaluated: evaluated,
-        table,
-        cache_hit: false,
-        wall_time_s: 0.0,
-    })
+/// The deterministic byte serialization of an outcome (wall time and
+/// the cache-hit flag excluded). The final `end <fnv>` line is an
+/// FNV-1a over every preceding byte, so truncations and bit flips are
+/// detectably corrupt rather than silently parseable.
+pub fn serialize(out: &TuneOutcome) -> String {
+    serialize_record(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::search::{tune, tune_cached, TuneOptions};
+    use phi_serve::store::parse_record;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("phi-tune-test-{}-{tag}", std::process::id()))
@@ -439,7 +376,7 @@ mod tests {
         };
         let out = tune(&m, &space, &opts);
         let text = serialize(&out);
-        let back = parse(&text).expect("own serialization parses");
+        let back: TuneOutcome = parse_record(&text).expect("own serialization parses");
         assert_eq!(back.fingerprint, out.fingerprint);
         assert_eq!(back.machine, out.machine);
         assert_eq!(back.tuned, out.tuned);
@@ -462,6 +399,72 @@ mod tests {
         }
         // Re-serializing the parsed outcome is byte-identical.
         assert_eq!(serialize(&back).as_bytes(), text.as_bytes());
+    }
+
+    #[test]
+    fn legacy_v2_cache_files_stay_readable_through_the_shared_store() {
+        // Migration gate: a cache file written by the pre-`ResultStore`
+        // code must load unchanged. The v2 layout is reconstructed here
+        // literally — header, field lines, FNV trailer, `tune-<key>.txt`
+        // naming — independent of the production serializer, so a
+        // framing drift in either layer fails this test.
+        let m = small_machine();
+        let space = TuneSpace::coarse(&m);
+        let opts = TuneOptions {
+            coarse_only: true,
+            ..TuneOptions::default()
+        };
+        let out = tune(&m, &space, &opts);
+
+        let mut legacy = String::new();
+        legacy.push_str("phi-tune cache v2\n");
+        legacy.push_str(&format!("key {:016x}\n", out.fingerprint));
+        legacy.push_str(&format!(
+            "machine nodes={} cards={} mem={:016x} n={}\n",
+            m.nodes,
+            m.cards_per_node,
+            m.host_mem_gib.to_bits(),
+            m.n
+        ));
+        legacy.push_str(&format!("evaluated {}\n", out.candidates_evaluated));
+        legacy.push_str(&format!("baseline {}\n", cand_line(&out.baseline)));
+        legacy.push_str(&format!(
+            "baseline-score {}\n",
+            score_line(&out.baseline_report)
+        ));
+        legacy.push_str(&format!("tuned {}\n", cand_line(&out.tuned.candidate())));
+        legacy.push_str(&format!("tuned-score {}\n", score_line(&out.tuned_report)));
+        legacy.push_str(&format!("table {}\n", out.table.len()));
+        for sc in &out.table {
+            legacy.push_str(&format!(
+                "row {} {}\n",
+                cand_line(&sc.candidate),
+                score_line(&sc.report)
+            ));
+        }
+        let mut h = Fnv::new();
+        h.write(legacy.as_bytes());
+        legacy.push_str(&format!("end {:016x}\n", h.finish()));
+
+        // The migrated serializer still emits exactly the legacy bytes.
+        assert_eq!(serialize(&out), legacy, "on-disk format drifted from v2");
+
+        // And a legacy file dropped into a cache directory is a hit.
+        let dir = tmp_dir("legacy");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TuneCache::open(&dir).unwrap();
+        let legacy_path = dir.join(format!("tune-{:016x}.txt", out.fingerprint));
+        std::fs::write(&legacy_path, &legacy).unwrap();
+        assert_eq!(cache.path(out.fingerprint), legacy_path);
+        let loaded = cache
+            .load(out.fingerprint)
+            .unwrap()
+            .expect("legacy record loads");
+        assert_eq!(loaded.tuned, out.tuned);
+        assert_eq!(loaded.fingerprint, out.fingerprint);
+        let hit = tune_cached(&m, &space, &opts, &cache).unwrap();
+        assert!(hit.cache_hit, "legacy file must serve as a cache hit");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

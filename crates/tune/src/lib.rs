@@ -17,10 +17,12 @@
 //! * candidate evaluations run in parallel on `std::thread` with a
 //!   deterministic by-index merge, so the result is independent of
 //!   thread count;
-//! * [`TuneCache`] is a content-addressed store keyed by an FNV-1a
+//! * [`TuneCache`] is a content-addressed cache keyed by an FNV-1a
 //!   fingerprint of the machine, the search space and the seed (the
 //!   same fingerprint scheme `phi-faults` uses for replay identity) —
-//!   a second run with the same key is a pure cache hit.
+//!   a second run with the same key is a pure cache hit. The framing
+//!   lives in `phi-serve`'s shared [`phi_serve::ResultStore`]; the
+//!   on-disk bytes are unchanged from the pre-migration v2 format.
 //!
 //! Selection applies an ε-rule: among finalists within 1% of the best
 //! calibrated score *and no slower than the paper's hand-set baseline*,

@@ -17,6 +17,7 @@
 //! | [`faults`] | `phi-faults` | deterministic fault plans, fault-tolerant cluster runs |
 //! | [`lint`] | `phi-lint` | static kernel verifier, issue-slot analyzer, cycle bound |
 //! | [`tune`] | `phi-tune` | seeded autotuner: NB, look-ahead, work division, bcast, grid |
+//! | [`serve`] | `phi-serve` | campaign service: content-addressed result store, single-flight dedup, query table |
 //!
 //! # Quick start
 //!
@@ -57,6 +58,20 @@
 //! let dat = out.tuned.hpl_dat().render();
 //! assert!(dat.contains("NBs"));
 //! ```
+//!
+//! Serve campaign requests through the content-addressed result
+//! service — concurrent identical requests simulate exactly once:
+//!
+//! ```
+//! use linpack_phi::serve::{CampaignService, CampaignSpec};
+//!
+//! let service = CampaignService::in_memory(2);
+//! let spec = CampaignSpec::paper_cluster_campaign(7);
+//! let a = service.get(&spec).unwrap();
+//! let b = service.get(&spec).unwrap();
+//! assert_eq!(a.fingerprint, b.fingerprint);
+//! assert_eq!(service.stats().executed, 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -69,5 +84,6 @@ pub use phi_knc as knc;
 pub use phi_lint as lint;
 pub use phi_matrix as matrix;
 pub use phi_sched as sched;
+pub use phi_serve as serve;
 pub use phi_tune as tune;
 pub use phi_xeon as xeon;
