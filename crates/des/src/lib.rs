@@ -27,15 +27,59 @@
 #![warn(missing_docs)]
 
 pub mod link;
+pub mod parallel;
 pub mod shared;
 pub mod trace;
 
 pub use link::Link;
+pub use parallel::{LogicalProcess, Mailbox, ParallelDes, ParallelReport};
 pub use shared::SharedChannel;
 pub use trace::{to_chrome_json, Kind, Span, Trace};
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// The total event-ordering key shared by the sequential executive and
+/// the rank-partitioned parallel engine: events fire by `(time, rank,
+/// seq)`. Because every `(rank, seq)` pair is unique, the order is
+/// *total* — no two distinct events compare equal — so pop order cannot
+/// depend on heap internals or insertion order.
+#[derive(Clone, Copy, Debug)]
+pub struct EventKey {
+    /// Firing time in simulated seconds.
+    pub at: f64,
+    /// Originating rank (0 for single-partition simulations).
+    pub rank: u32,
+    /// Monotone per-rank sequence number.
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// Builds a key.
+    pub fn new(at: f64, rank: u32, seq: u64) -> Self {
+        Self { at, rank, seq }
+    }
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.rank.cmp(&other.rank))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
 
 /// Recoverable misuse of the timing models, surfaced as a value instead
 /// of a panic. The panicking entry points (`Link::transfer`,
@@ -74,17 +118,16 @@ impl std::fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
-/// A scheduled event: fires `at` simulated seconds, FIFO within a
-/// timestamp.
+/// A scheduled event: fires by its [`EventKey`] — time order, rank and
+/// FIFO sequence breaking ties.
 struct Scheduled {
-    at: f64,
-    seq: u64,
+    key: EventKey,
     cb: Box<dyn FnOnce(&mut Sim)>,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for Scheduled {}
@@ -95,12 +138,8 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops
-        // first, with seq as FIFO tie-break.
-        other
-            .at
-            .total_cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the smallest key pops first.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -145,6 +184,15 @@ impl Sim {
 
     /// Schedules `cb` at absolute time `at` (must not be in the past).
     pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: f64, cb: F) {
+        self.schedule_at_ranked(at, 0, cb);
+    }
+
+    /// Schedules `cb` at absolute time `at`, tagged with an explicit
+    /// `rank` for the tie-break key. Events at the same timestamp fire
+    /// by ascending `(rank, seq)`; single-partition callers use
+    /// [`Self::schedule`]/[`Self::schedule_at`] (rank 0), which keeps
+    /// their tie-break pure schedule-order FIFO.
+    pub fn schedule_at_ranked<F: FnOnce(&mut Sim) + 'static>(&mut self, at: f64, rank: u32, cb: F) {
         assert!(
             at >= self.now && at.is_finite(),
             "event at {at} is before now {}",
@@ -152,8 +200,7 @@ impl Sim {
         );
         self.seq += 1;
         self.queue.push(Scheduled {
-            at,
-            seq: self.seq,
+            key: EventKey::new(at, rank, self.seq),
             cb: Box::new(cb),
         });
     }
@@ -161,8 +208,8 @@ impl Sim {
     /// Runs until the event queue drains. Returns the final time.
     pub fn run(&mut self) -> f64 {
         while let Some(ev) = self.queue.pop() {
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
+            debug_assert!(ev.key.at >= self.now, "time went backwards");
+            self.now = ev.key.at;
             self.events_fired += 1;
             (ev.cb)(self);
         }
@@ -173,11 +220,11 @@ impl Sim {
     /// `deadline`; later events stay queued.
     pub fn run_until(&mut self, deadline: f64) -> f64 {
         while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+            if ev.key.at > deadline {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
-            self.now = ev.at;
+            self.now = ev.key.at;
             self.events_fired += 1;
             (ev.cb)(self);
         }
@@ -289,5 +336,86 @@ mod tests {
         // 'c' was scheduled first at t=1; 'b' lands behind it (same time,
         // later sequence number).
         assert_eq!(*order.borrow(), "acb");
+    }
+
+    #[test]
+    fn event_key_order_is_total() {
+        // Every pair of distinct keys compares strictly — the heap can
+        // never see Ordering::Equal for two different events.
+        let keys = [
+            EventKey::new(0.0, 0, 0),
+            EventKey::new(0.0, 0, 1),
+            EventKey::new(0.0, 1, 0),
+            EventKey::new(1.0, 0, 0),
+            EventKey::new(-0.0, 0, 2), // total_cmp: -0.0 < +0.0
+            EventKey::new(1.0, 2, 7),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i == j {
+                    assert_eq!(a.cmp(b), Ordering::Equal);
+                } else {
+                    assert_ne!(a.cmp(b), Ordering::Equal, "keys {i} and {j} tied");
+                    assert_eq!(a.cmp(b), b.cmp(a).reverse(), "antisymmetry {i},{j}");
+                }
+            }
+        }
+        // Lexicographic component priority: time, then rank, then seq.
+        assert!(EventKey::new(1.0, 9, 9) < EventKey::new(2.0, 0, 0));
+        assert!(EventKey::new(1.0, 0, 9) < EventKey::new(1.0, 1, 0));
+        assert!(EventKey::new(1.0, 1, 0) < EventKey::new(1.0, 1, 1));
+    }
+
+    #[test]
+    fn ranked_pop_order_is_insertion_order_independent() {
+        // The same set of (time, rank) events must fire in the same
+        // order no matter how they are inserted. Ranks make the key
+        // unique, so the per-permutation seq numbers never decide.
+        let events: Vec<(f64, u32, char)> = vec![
+            (2.0, 1, 'd'),
+            (1.0, 2, 'b'),
+            (1.0, 0, 'a'),
+            (2.0, 0, 'c'),
+            (1.0, 7, 'z'),
+        ];
+        let mut orders = Vec::new();
+        // Six distinct insertion orders (rotations + reversals).
+        for perm in 0..6 {
+            let mut evs = events.clone();
+            let n = evs.len();
+            evs.rotate_left(perm % n);
+            if perm >= 3 {
+                evs.reverse();
+            }
+            let order = Rc::new(RefCell::new(String::new()));
+            let mut sim = Sim::new();
+            for (at, rank, tag) in evs {
+                let order = order.clone();
+                sim.schedule_at_ranked(at, rank, move |_| order.borrow_mut().push(tag));
+            }
+            sim.run();
+            orders.push(order.borrow().clone());
+        }
+        for o in &orders {
+            assert_eq!(o, "abzcd", "pop order must be (time, rank): {orders:?}");
+        }
+    }
+
+    #[test]
+    fn rank_breaks_ties_before_seq() {
+        // Two events at the same instant: the lower rank fires first even
+        // though it was scheduled later (higher seq).
+        let order = Rc::new(RefCell::new(String::new()));
+        let mut sim = Sim::new();
+        {
+            let order = order.clone();
+            sim.schedule_at_ranked(5.0, 3, move |_| order.borrow_mut().push('h'));
+        }
+        {
+            let order = order.clone();
+            sim.schedule_at_ranked(5.0, 1, move |_| order.borrow_mut().push('l'));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), "lh");
     }
 }

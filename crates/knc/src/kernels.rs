@@ -26,6 +26,7 @@
 use crate::emu::{CoreSim, RunStats, StreamBases};
 use crate::isa::{Addr, BcastMode, Instr, Operand, Program, StreamId};
 use crate::pipeline::PipelineConfig;
+use crate::trace::TraceStats;
 use phi_blas::gemm::MicroKernelKind;
 
 /// Column stride of the padded `a` tile: 32 elements = 4 cache lines.
@@ -224,6 +225,34 @@ pub fn run_tile_product(
     bs: &[Vec<f64>; 4],
     cfg: PipelineConfig,
 ) -> KernelReport {
+    run_tile_product_impl(kind, depth, a, bs, cfg, false).0
+}
+
+/// [`run_tile_product`] with the block-trace fast path enabled
+/// ([`crate::trace`]). The report is guaranteed bit-identical to the
+/// interpreter's; the extras are the trace counters and the coverage
+/// speedup (total cycles over interpreter-executed cycles).
+pub fn run_tile_product_traced(
+    kind: MicroKernelKind,
+    depth: usize,
+    a: &[f64],
+    bs: &[Vec<f64>; 4],
+    cfg: PipelineConfig,
+) -> (KernelReport, TraceStats, f64) {
+    let (rep, extra) = run_tile_product_impl(kind, depth, a, bs, cfg, true);
+    let (stats, speedup) = extra.expect("tracing was enabled");
+    (rep, stats, speedup)
+}
+
+#[allow(clippy::type_complexity)]
+fn run_tile_product_impl(
+    kind: MicroKernelKind,
+    depth: usize,
+    a: &[f64],
+    bs: &[Vec<f64>; 4],
+    cfg: PipelineConfig,
+    traced: bool,
+) -> (KernelReport, Option<(TraceStats, f64)>) {
     let mr = kernel_mr(kind);
     assert_eq!(a.len(), mr * depth, "a tile shape");
     for b in bs {
@@ -274,6 +303,9 @@ pub fn run_tile_product(
     // between them are free of both cold-start effects (cache warming)
     // and the end-of-loop drain (the first thread's epilogue misses).
     let (mut sim, threads) = build_sim(depth);
+    if traced {
+        sim.enable_trace();
+    }
     let mark1 = (depth / 4).max(1).min(depth);
     let mark2 = (depth.saturating_sub(depth / 8)).max(mark1);
     let (cycles_total, mark_cycle, loop_end) =
@@ -289,17 +321,21 @@ pub fn run_tile_product(
     // Four threads perform 4*mr FMAs per iteration.
     let steady_efficiency = (4 * mr) as f64 / steady_cycles_per_iter;
 
-    KernelReport {
-        kind,
-        mr,
-        depth,
-        cycles_total,
-        steady_cycles_per_iter,
-        steady_efficiency,
-        theoretical_efficiency: body.theoretical_efficiency(),
-        stats,
-        c_tiles,
-    }
+    let extra = sim.trace_stats().map(|t| (t, sim.replay_speedup()));
+    (
+        KernelReport {
+            kind,
+            mr,
+            depth,
+            cycles_total,
+            steady_cycles_per_iter,
+            steady_efficiency,
+            theoretical_efficiency: body.theoretical_efficiency(),
+            stats,
+            c_tiles,
+        },
+        extra,
+    )
 }
 
 #[cfg(test)]
@@ -429,6 +465,30 @@ mod tests {
             "kernel2 must not stall: {} stall cycles",
             r2.stats.fill_stall_cycles
         );
+    }
+
+    #[test]
+    fn traced_tile_product_is_bit_identical_and_covers() {
+        for (kind, seed) in [(MicroKernelKind::Kernel1, 6), (MicroKernelKind::Kernel2, 7)] {
+            let mr = kernel_mr(kind);
+            let depth = 256;
+            let (a, bs) = random_tiles(mr, depth, seed);
+            let slow = run_tile_product(kind, depth, &a, &bs, PipelineConfig::default());
+            let (fast, ts, speedup) =
+                run_tile_product_traced(kind, depth, &a, &bs, PipelineConfig::default());
+            assert_eq!(slow.cycles_total, fast.cycles_total, "{kind:?}");
+            assert_eq!(
+                slow.steady_cycles_per_iter, fast.steady_cycles_per_iter,
+                "{kind:?}"
+            );
+            assert_eq!(slow.stats, fast.stats, "{kind:?}");
+            assert_eq!(slow.c_tiles, fast.c_tiles, "{kind:?}");
+            assert!(
+                ts.replayed_segments > depth as u64 / 2,
+                "{kind:?} must replay most iterations: {ts:?}"
+            );
+            assert!(speedup > 2.0, "{kind:?} coverage speedup {speedup:.2}");
+        }
     }
 
     #[test]

@@ -39,9 +39,11 @@ pub mod kernels;
 pub mod pipeline;
 pub mod stream;
 pub mod tlb;
+pub mod trace;
 
 pub use chip::{GemmModel, KncChip, LuTaskModel, Precision};
 pub use emu::{CoreSim, RunStats};
 pub use isa::{Addr, BcastMode, Instr, Operand, Program, StreamId};
 pub use kernels::{build_basic_kernel, run_tile_product, KernelReport};
-pub use pipeline::PipelineConfig;
+pub use pipeline::{PipelineConfig, TraceConfig};
+pub use trace::TraceStats;

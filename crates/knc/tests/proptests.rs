@@ -267,3 +267,24 @@ mod cache_props {
         }
     }
 }
+
+/// Decode round-trip: every randomly generated instruction renders to
+/// listing syntax and parses back to itself, and whole programs survive
+/// `parse_program(disassemble(p))` — so the conformance tables, the
+/// lint fixtures and the emulator all speak one syntax.
+#[test]
+fn disassembly_round_trips_through_the_parser() {
+    use phi_knc::disasm::{disassemble, instr_str, parse_instr, parse_program};
+    for seed in [0xD15A_u64, 0xD25A, 0xD35A, 0xD45A] {
+        let mut gen = Gen::new(seed);
+        for _ in 0..256 {
+            let i = gen.instr(4);
+            let s = instr_str(&i);
+            assert_eq!(parse_instr(&s).ok(), Some(i), "seed {seed:#x}: `{s}`");
+        }
+        let body = gen.program(4, 1, 40);
+        let p = Program { body };
+        let reparsed = parse_program(&disassemble(&p)).expect("listing reparses");
+        assert_eq!(reparsed.body, p.body, "seed {seed:#x}: program round-trip");
+    }
+}
