@@ -1,0 +1,56 @@
+//! `workloads` — the performance-lab driver.
+//!
+//! Runs each workload through the shared pipeline (listing → lint →
+//! emulator → roofline → fabric) and prints one row per workload.
+//! `--workload dgemm|spmv|stencil` restricts the run to one kind;
+//! without it the whole lab runs.
+
+use phi_bench::workloads::{lab_render, lab_rows};
+use phi_hpl::WorkloadKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut kinds: Vec<WorkloadKind> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => match args.next().as_deref().and_then(WorkloadKind::parse) {
+                Some(k) => kinds.push(k),
+                None => {
+                    eprintln!(
+                        "workloads: --workload takes one of {}",
+                        WorkloadKind::ALL.map(WorkloadKind::name).join("|")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("workloads: --out takes a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "workloads: unrecognized argument `{other}` \
+                     (expected --workload dgemm|spmv|stencil or --out <path>)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if kinds.is_empty() {
+        kinds = WorkloadKind::ALL.to_vec();
+    }
+    let text = lab_render(&lab_rows(&kinds));
+    print!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("workloads: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,7 @@ pub mod perfgate;
 pub mod schedlint;
 pub mod serve;
 pub mod tune;
+pub mod workloads;
 
 pub use experiments::*;
 pub use faults::{
@@ -33,3 +34,4 @@ pub use fleet::{
 pub use format::TextTable;
 pub use phi_hpl::native::NativeScheme;
 pub use serve::{serve_load, serve_load_render, ServeLoadOptions, ServeLoadResult};
+pub use workloads::{lab_render, lab_rows, workload_diff, LabRow};

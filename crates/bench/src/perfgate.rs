@@ -276,6 +276,18 @@ pub fn collect_metrics(cache_dir: &Path) -> Result<Vec<Metric>, PerfGateError> {
             name: "parallel_des_events_per_s",
             value: parallel_des_events_per_s(),
         },
+        // Performance-lab workloads: the emulated SpMV operating point
+        // (bandwidth side of the roofline) and the stencil cluster's
+        // exposed halo time (the new fabric pattern). Both deterministic
+        // model outputs — see `crate::workloads`.
+        Metric {
+            name: "spmv_gflops",
+            value: crate::workloads::spmv_gflops(),
+        },
+        Metric {
+            name: "stencil_halo_exchange_s",
+            value: crate::workloads::stencil_halo_exchange_s(),
+        },
     ])
 }
 
@@ -586,7 +598,20 @@ mod tests {
         let a = collect_metrics(&dir).unwrap();
         let b = collect_metrics(&dir).unwrap();
         assert_eq!(a, b, "gate metrics must be deterministic");
-        assert_eq!(a.len(), 14);
+        assert_eq!(a.len(), 16);
+        let spmv = a.iter().find(|m| m.name == "spmv_gflops").unwrap();
+        // Bandwidth-bound: a small fraction of the 17.6 GF per-core
+        // peak, but nonzero — the steady state stays on the L1-hit path.
+        assert!(
+            spmv.value > 0.0 && spmv.value < 8.0,
+            "spmv operating point drifted off the bandwidth roof: {}",
+            spmv.value
+        );
+        let halo = a
+            .iter()
+            .find(|m| m.name == "stencil_halo_exchange_s")
+            .unwrap();
+        assert!(halo.value > 0.0, "stencil cluster exposed no halo stage");
         let hit_rate = a.iter().find(|m| m.name == "serve_hit_rate").unwrap();
         // 1200 requests over 24 unique specs: all but the first touch of
         // each key must be a hit.

@@ -36,6 +36,7 @@ pub mod native;
 pub mod offload;
 pub mod refine;
 pub mod report;
+pub mod workload;
 
 pub use distributed::{factorize_distributed, factorize_distributed_with, DistError, RecvPolicy};
 pub use hpldat::HplDat;
@@ -47,3 +48,7 @@ pub use native::{NativeConfig, NativeScheme};
 pub use phi_fabric::RemapStrategy;
 pub use refine::{solve_mixed_precision, RefineResult};
 pub use report::{hpl_flops, FaultSummary, GigaflopsReport};
+pub use workload::{
+    simulate_stencil_cluster, DgemmWorkload, SpmvWorkload, StencilClusterConfig,
+    StencilClusterReport, StencilWorkload, Workload, WorkloadKind,
+};

@@ -27,6 +27,6 @@ pub mod pcie;
 pub mod schedule;
 
 pub use grid::{GridCoord, GridError, PatchRemap, ProcessGrid, RemapStrategy};
-pub use net::{BcastScheme, NetModel};
+pub use net::{BcastScheme, HaloSpec, NetModel};
 pub use pcie::{MmQueue, PcieConfig, PcieLink};
 pub use schedule::{CommOp, CommSchedule, ScheduleBuilder, ScheduleShape};

@@ -55,6 +55,138 @@ impl BcastScheme {
     }
 }
 
+/// A radius-`r` face-halo exchange over a 3-D grid of doubles,
+/// block-decomposed on a `(p1, p2, p3)` rank grid with periodic
+/// boundaries — the traffic pattern of the performance lab's stencil
+/// workload, sitting beside the HPL panel broadcast and long swap.
+///
+/// Each rank owns a contiguous block (uneven remainders go to the
+/// low-coordinate ranks, standard block distribution) and, per decomposed
+/// axis, exchanges a `radius`-deep face with both neighbours. Faces are
+/// whole cross-sections: axis-0 faces carry `radius × ly × lz` points of
+/// the *sender's* local extents — which equal the receiver's, because
+/// neighbours along one axis share their extents along the other two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HaloSpec {
+    /// Global grid points per axis.
+    pub dims: (usize, usize, usize),
+    /// Rank grid: how many ranks split each axis.
+    pub ranks: (usize, usize, usize),
+    /// Stencil radius: halo depth in grid points.
+    pub radius: usize,
+}
+
+impl HaloSpec {
+    /// Builds a spec, checking the decomposition is meaningful: every
+    /// rank's block must be at least `radius` deep along decomposed axes
+    /// (a halo deeper than its donor block would need multi-hop sourcing).
+    pub fn new(dims: (usize, usize, usize), ranks: (usize, usize, usize), radius: usize) -> Self {
+        let s = Self {
+            dims,
+            ranks,
+            radius,
+        };
+        for a in 0..3 {
+            let (n, p) = (s.dim(a), s.rank_dim(a));
+            assert!(p >= 1 && n >= p, "axis {a}: {p} ranks over {n} points");
+            if p > 1 {
+                let min_extent = n / p;
+                assert!(
+                    min_extent >= radius,
+                    "axis {a}: blocks of {min_extent} shallower than radius {radius}"
+                );
+            }
+        }
+        s
+    }
+
+    fn dim(&self, axis: usize) -> usize {
+        [self.dims.0, self.dims.1, self.dims.2][axis]
+    }
+
+    fn rank_dim(&self, axis: usize) -> usize {
+        [self.ranks.0, self.ranks.1, self.ranks.2][axis]
+    }
+
+    /// Total ranks in the decomposition.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.0 * self.ranks.1 * self.ranks.2
+    }
+
+    /// Local extent along `axis` for a rank at `coord`: `n/p`, with the
+    /// first `n mod p` coordinates absorbing the remainder.
+    pub fn local_extent(&self, axis: usize, coord: usize) -> usize {
+        let (n, p) = (self.dim(axis), self.rank_dim(axis));
+        n / p + usize::from(coord < n % p)
+    }
+
+    fn rank_id(&self, c: [usize; 3]) -> usize {
+        c[0] + self.ranks.0 * (c[1] + self.ranks.1 * c[2])
+    }
+
+    /// Every point-to-point message of one full exchange as
+    /// `(from, to, bytes)` triples, in a fixed deterministic order:
+    /// axis-major, then rank-id, then the `+`/`−` direction.
+    pub fn messages(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for axis in 0..3 {
+            let p = self.rank_dim(axis);
+            if p <= 1 {
+                continue;
+            }
+            for c2 in 0..self.ranks.2 {
+                for c1 in 0..self.ranks.1 {
+                    for c0 in 0..self.ranks.0 {
+                        let c = [c0, c1, c2];
+                        let bytes = self.face_bytes(axis, c);
+                        for dir in [1usize, p - 1] {
+                            let mut n = c;
+                            n[axis] = (c[axis] + dir) % p;
+                            out.push((self.rank_id(c), self.rank_id(n), bytes));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes of one face a rank at `coord` sends along `axis`: a
+    /// `radius`-deep slab of its own cross-section, 8 bytes per point.
+    pub fn face_bytes(&self, axis: usize, coord: [usize; 3]) -> f64 {
+        let mut area = 1.0;
+        for (other, &c) in coord.iter().enumerate() {
+            if other != axis {
+                area *= self.local_extent(other, c) as f64;
+            }
+        }
+        8.0 * self.radius as f64 * area
+    }
+
+    /// Bytes each rank sends in one exchange, indexed by rank id.
+    pub fn sent_bytes(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.rank_count()];
+        for (from, _, b) in self.messages() {
+            v[from] += b;
+        }
+        v
+    }
+
+    /// Bytes each rank receives in one exchange, indexed by rank id.
+    pub fn received_bytes(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.rank_count()];
+        for (_, to, b) in self.messages() {
+            v[to] += b;
+        }
+        v
+    }
+
+    /// Total bytes crossing the network in one exchange.
+    pub fn total_bytes(&self) -> f64 {
+        self.messages().iter().map(|m| m.2).sum()
+    }
+}
+
 /// Analytic network model.
 #[derive(Clone, Copy, Debug)]
 pub struct NetModel {
@@ -153,6 +285,31 @@ impl NetModel {
     pub fn u_bcast(&self, nb: usize, cols: usize, p: usize) -> f64 {
         self.ring_bcast(8.0 * nb as f64 * cols as f64, p)
     }
+
+    /// One full face-halo exchange: per decomposed axis, every rank
+    /// shifts a face to each neighbour. The two directional shifts of an
+    /// axis serialize on the single rail, axes proceed as separate
+    /// phases, and the widest face paces each phase (the postal analogue
+    /// of the bulk-synchronous `MPI_Sendrecv` ladder stencil codes use).
+    /// Free when no axis is decomposed — the halo then wraps in memory.
+    pub fn halo_exchange(&self, spec: &HaloSpec) -> f64 {
+        let mut t = 0.0;
+        for axis in 0..3 {
+            let p = [spec.ranks.0, spec.ranks.1, spec.ranks.2][axis];
+            if p <= 1 {
+                continue;
+            }
+            let widest = (0..spec.ranks.2)
+                .flat_map(|c2| {
+                    (0..spec.ranks.1)
+                        .flat_map(move |c1| (0..spec.ranks.0).map(move |c0| [c0, c1, c2]))
+                })
+                .map(|c| spec.face_bytes(axis, c))
+                .fold(0.0f64, f64::max);
+            t += 2.0 * self.p2p(widest);
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +388,48 @@ mod tests {
         let large = n.long_swap(1200, 40_000, 4);
         assert!(large > 3.0 * small);
         assert_eq!(n.long_swap(1200, 40_000, 1), 0.0);
+    }
+
+    #[test]
+    fn halo_volume_is_conserved_rank_by_rank() {
+        // Uneven decomposition (remainder blocks differ in extent): every
+        // byte sent must land somewhere, and with periodic faces each
+        // rank's inflow matches its outflow pairwise.
+        let spec = HaloSpec::new((37, 22, 9), (3, 2, 1), 2);
+        let sent = spec.sent_bytes();
+        let recv = spec.received_bytes();
+        let (s, r): (f64, f64) = (sent.iter().sum(), recv.iter().sum());
+        assert_eq!(s.to_bits(), r.to_bits(), "conservation: {s} vs {r}");
+        assert!((s - spec.total_bytes()).abs() < 1e-9);
+        // Neighbours along an axis share cross-sections, so per-rank
+        // inflow equals outflow too.
+        for (i, (a, b)) in sent.iter().zip(&recv).enumerate() {
+            assert!((a - b).abs() < 1e-9, "rank {i}: sent {a} recv {b}");
+        }
+        // 2 messages per rank per decomposed axis.
+        assert_eq!(spec.messages().len(), 2 * 2 * spec.rank_count());
+    }
+
+    #[test]
+    fn halo_time_scales_with_radius_and_is_free_undivided() {
+        let n = NetModel::default();
+        let single = HaloSpec::new((512, 512, 512), (1, 1, 1), 4);
+        assert_eq!(n.halo_exchange(&single), 0.0);
+        assert!(single.messages().is_empty());
+
+        let r1 = HaloSpec::new((512, 512, 512), (2, 2, 2), 1);
+        let r4 = HaloSpec::new((512, 512, 512), (2, 2, 2), 4);
+        let (t1, t4) = (n.halo_exchange(&r1), n.halo_exchange(&r4));
+        assert!(t1 > 0.0);
+        assert!(t4 > 2.0 * t1, "radius-4 halo {t4} vs radius-1 {t1}");
+        // Three axis phases, two shifts each: at least 6 latencies.
+        assert!(t1 >= 6.0 * n.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "shallower than radius")]
+    fn halo_rejects_blocks_thinner_than_the_radius() {
+        HaloSpec::new((8, 8, 8), (4, 1, 1), 3);
     }
 
     #[test]

@@ -217,3 +217,58 @@ fn patch_imbalance_monotone_and_bounded() {
         }
     }
 }
+
+/// Halo volumes conserve rank by rank for any admissible decomposition:
+/// every byte a rank sends across a face is received by exactly one
+/// neighbor, the per-rank send/receive tallies from the message list
+/// match the spec's own accessors, and the machine-wide total is the
+/// sum of sent volumes. Face volumes are integer byte counts, so every
+/// comparison here is exact.
+#[test]
+fn halo_volumes_conserve_for_random_decompositions() {
+    use phi_fabric::HaloSpec;
+    let mut cases = Cases(0x4A70);
+    for case in 0..96 {
+        let radius = cases.index(1, 4);
+        let mut dims = [0usize; 3];
+        let mut grid = [0usize; 3];
+        for a in 0..3 {
+            grid[a] = cases.index(1, 5);
+            // Blocks at least `radius` deep by construction.
+            dims[a] = grid[a] * radius + cases.index(0, 24);
+        }
+        let spec = HaloSpec::new(
+            (dims[0], dims[1], dims[2]),
+            (grid[0], grid[1], grid[2]),
+            radius,
+        );
+        let ranks = spec.rank_count();
+        let mut sent = vec![0.0f64; ranks];
+        let mut recv = vec![0.0f64; ranks];
+        let mut msgs = 0usize;
+        for (from, to, bytes) in spec.messages() {
+            assert!(from < ranks && to < ranks && from != to, "case {case}");
+            assert!(bytes > 0.0, "case {case}: empty face message");
+            sent[from] += bytes;
+            recv[to] += bytes;
+            msgs += 1;
+        }
+        let decomposed_axes = grid.iter().filter(|&&p| p > 1).count();
+        assert_eq!(
+            msgs,
+            2 * decomposed_axes * ranks,
+            "case {case}: two directed faces per decomposed axis per rank"
+        );
+        for r in 0..ranks {
+            assert_eq!(
+                sent[r], recv[r],
+                "case {case}: rank {r} sent {} but received {}",
+                sent[r], recv[r]
+            );
+        }
+        assert_eq!(sent, spec.sent_bytes(), "case {case}: sent accessor");
+        assert_eq!(recv, spec.received_bytes(), "case {case}: recv accessor");
+        let total: f64 = sent.iter().sum();
+        assert_eq!(total, spec.total_bytes(), "case {case}: machine total");
+    }
+}

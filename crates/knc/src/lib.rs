@@ -37,6 +37,9 @@ pub mod emu;
 pub mod isa;
 pub mod kernels;
 pub mod pipeline;
+pub mod roofline;
+pub mod spmv;
+pub mod stencil;
 pub mod stream;
 pub mod tlb;
 pub mod trace;
@@ -46,4 +49,7 @@ pub use emu::{CoreSim, RunStats};
 pub use isa::{Addr, BcastMode, Instr, Operand, Program, StreamId};
 pub use kernels::{build_basic_kernel, run_tile_product, KernelReport};
 pub use pipeline::{PipelineConfig, TraceConfig};
+pub use roofline::{RooflineClass, RooflinePoint};
+pub use spmv::{build_spmv_kernel, run_spmv, run_spmv_traced, Csr, SpmvReport};
+pub use stencil::{build_stencil_kernel, run_stencil, StarStencil, StencilReport};
 pub use trace::TraceStats;

@@ -288,3 +288,52 @@ fn disassembly_round_trips_through_the_parser() {
         assert_eq!(reparsed.body, p.body, "seed {seed:#x}: program round-trip");
     }
 }
+
+/// CSR construction round-trips: for any seeded set of duplicate-free
+/// triplets, `to_triplets ∘ from_triplets` is the identity up to (row,
+/// col) sorting, a second round-trip is a fixed point, the row pointer
+/// partitions the nonzeros, and duplicate triplets accumulate into the
+/// existing entry rather than widening the matrix.
+#[test]
+fn csr_round_trips_through_triplets() {
+    use phi_knc::spmv::Csr;
+    use std::collections::BTreeMap;
+    let mut gen = Gen::new(0xC5A_0001);
+    for case in 0..64 {
+        let rows = gen.index(1, 40);
+        let cols = gen.index(1, 40);
+        let want = gen.index(0, rows * cols / 2 + 1);
+        let mut entries: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for _ in 0..want {
+            let r = gen.index(0, rows);
+            let c = gen.index(0, cols);
+            entries.insert((r, c), gen.index(1, 1000) as f64 - 500.0);
+        }
+        let sorted: Vec<(usize, usize, f64)> =
+            entries.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+        // Feed the triplets in a scrambled order; CSR must sort them.
+        let mut scrambled = sorted.clone();
+        for i in (1..scrambled.len()).rev() {
+            scrambled.swap(i, gen.index(0, i + 1));
+        }
+        let a = Csr::from_triplets(rows, cols, &scrambled);
+        assert_eq!(a.to_triplets(), sorted, "case {case}: triplet identity");
+        assert_eq!(a.nnz(), sorted.len());
+        let b = Csr::from_triplets(rows, cols, &a.to_triplets());
+        assert_eq!(b.to_triplets(), a.to_triplets(), "case {case}: fixed point");
+        let len_sum: usize = (0..rows).map(|r| a.row_len(r)).sum();
+        assert_eq!(len_sum, a.nnz(), "case {case}: row_ptr partitions nnz");
+        // A duplicate accumulates instead of growing the structure.
+        if let Some(&(r, c, v)) = sorted.first() {
+            let mut dup = scrambled.clone();
+            dup.push((r, c, 3.0));
+            let d = Csr::from_triplets(rows, cols, &dup);
+            assert_eq!(d.nnz(), a.nnz(), "case {case}: duplicate widened CSR");
+            assert_eq!(
+                d.to_triplets()[0],
+                (r, c, v + 3.0),
+                "case {case}: duplicate must accumulate"
+            );
+        }
+    }
+}

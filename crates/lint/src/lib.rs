@@ -57,6 +57,8 @@ pub use ownership::OwnershipMap;
 use phi_knc::pipeline::PipelineConfig;
 use phi_knc::{Instr, Program};
 
+pub use phi_knc::RooflineClass;
+
 /// Analysis parameters (defaults mirror the emulator's machine model).
 #[derive(Clone, Copy, Debug)]
 pub struct LintConfig {
@@ -64,6 +66,19 @@ pub struct LintConfig {
     pub threads: usize,
     /// Pipeline timings the stall estimate is calibrated against.
     pub pipeline: PipelineConfig,
+    /// Declared roofline class of the listing under analysis.
+    ///
+    /// The default, [`RooflineClass::ComputeBound`], keeps the historical
+    /// behaviour: every wasted dual-issue slot and every unabsorbed
+    /// prefetch fill is a finding, because a compute-bound kernel could
+    /// have scheduled around them. Declaring
+    /// [`RooflineClass::BandwidthBound`] tells the analyzer the kernel
+    /// has zero register reuse by construction — every vector slot must
+    /// read memory, so lone-`vprefetch` hole turns (K004) and the
+    /// fills-vs-holes balance (K005) are the listing's *operating point*.
+    /// Both stay priced in the [`StaticModel`]; they just stop being
+    /// diagnostics.
+    pub class: RooflineClass,
 }
 
 impl Default for LintConfig {
@@ -72,6 +87,7 @@ impl Default for LintConfig {
         Self {
             threads: pipeline.threads_per_core,
             pipeline,
+            class: RooflineClass::default(),
         }
     }
 }
@@ -221,6 +237,21 @@ pub fn analyze_with(cfg: &LintConfig, body: &Program, epilogue: &Program) -> Rep
     diags.extend(port_diags);
     diags.extend(addrs::check(body, epilogue));
 
+    // A declared bandwidth-bound listing reserves lone-`vprefetch` turns
+    // as deliberate fill holes — with zero register reuse there is no
+    // vector instruction free of the L1 port to pair them with. The
+    // wasted slot is the class's operating point, not a finding.
+    if cfg.class == RooflineClass::BandwidthBound {
+        diags.retain(|d| {
+            !(matches!(d.kind, LintKind::UnpairedVpipe)
+                && d.region == Region::Body
+                && matches!(
+                    body.body.get(d.at),
+                    Some(Instr::PrefetchL1(_) | Instr::PrefetchL2(_))
+                ))
+        });
+    }
+
     let model = StaticModel {
         u_slots: body.vector_count(),
         fmadds: body.fmadd_count(),
@@ -233,8 +264,11 @@ pub fn analyze_with(cfg: &LintConfig, body: &Program, epilogue: &Program) -> Rep
     };
 
     // The Fig. 1c conflict: more fills arrive per iteration than there
-    // are port-free holes to absorb them — Basic Kernel 1's fate.
-    if model.fill_deficit() > 1e-9 {
+    // are port-free holes to absorb them — Basic Kernel 1's fate. For a
+    // bandwidth-bound listing the deficit is priced into the cycle bound
+    // instead of flagged: the memory system pacing the loop is the
+    // declared design, not a scheduling defect.
+    if cfg.class == RooflineClass::ComputeBound && model.fill_deficit() > 1e-9 {
         let at = body
             .body
             .iter()
@@ -290,6 +324,66 @@ mod tests {
         assert!((r.model.theoretical_efficiency() - 30.0 / 32.0).abs() < 1e-12);
         assert!((r.model.cycles_per_iter_lower_bound() - 128.0).abs() < 1e-9);
         assert!((r.model.steady_efficiency_bound() - 30.0 / 32.0).abs() < 1e-9);
+    }
+
+    fn bandwidth_cfg() -> LintConfig {
+        LintConfig {
+            class: RooflineClass::BandwidthBound,
+            ..LintConfig::default()
+        }
+    }
+
+    #[test]
+    fn spmv_listing_is_clean_and_bandwidth_shaped() {
+        // The performance-lab SpMV body balances its two L1 fills against
+        // two lone-vprefetch1 holes. Under its declared class the
+        // analyzer finds nothing, and fills match holes exactly.
+        let (body, epi) = phi_knc::spmv::spmv_listing();
+        let r = analyze_with(&bandwidth_cfg(), &body, &epi);
+        assert!(r.diags.is_empty(), "{}", r.render());
+        assert!((r.model.fills_per_iter - r.model.holes_per_iter()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stencil_listing_is_clean_and_bandwidth_shaped() {
+        let (body, epi) = phi_knc::stencil::stencil_listing();
+        let r = analyze_with(&bandwidth_cfg(), &body, &epi);
+        assert!(r.diags.is_empty(), "{}", r.render());
+        assert!(r.model.fills_per_iter <= r.model.holes_per_iter() + 1e-9);
+    }
+
+    #[test]
+    fn default_class_still_flags_hole_turns_as_unpaired() {
+        // The class knob only relaxes what is *declared*: under the
+        // compute-bound default the same SpMV listing keeps its two K004
+        // findings, so existing kernels see bit-identical analysis.
+        let (body, epi) = phi_knc::spmv::spmv_listing();
+        let r = analyze(&body, &epi);
+        let k004 = r
+            .diags
+            .iter()
+            .filter(|d| matches!(d.kind, LintKind::UnpairedVpipe))
+            .count();
+        assert_eq!(k004, 2, "{}", r.render());
+    }
+
+    #[test]
+    fn bandwidth_class_does_not_suppress_real_findings() {
+        // A bandwidth-bound declaration must not blanket-silence K004:
+        // only lone *prefetches* are the hole idiom. A lone scalar op
+        // still wastes its dual-issue slot for real.
+        let mut body = Program::new();
+        body.push(Instr::ScalarOp);
+        body.push(Instr::ScalarOp);
+        let epi = Program::new();
+        let r = analyze_with(&bandwidth_cfg(), &body, &epi);
+        assert!(
+            r.diags
+                .iter()
+                .any(|d| matches!(d.kind, LintKind::UnpairedVpipe)),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

@@ -37,10 +37,14 @@
 pub mod cache;
 pub mod search;
 pub mod space;
+pub mod workload;
 
 pub use cache::{CacheReadError, TuneCache};
 pub use search::{tune, tune_cached, ScoredCandidate, TuneOptions, TuneOutcome, TunedConfig};
 pub use space::{Candidate, MachineConfig, TuneSpace};
+pub use workload::{
+    tune_spmv_blocking, tune_stencil_decomposition, SpmvBlockingChoice, StencilDecompChoice,
+};
 
 /// FNV-1a, the workspace's standard fingerprint hash (identical
 /// constants to the `phi-faults` replay fingerprints).
